@@ -1,0 +1,163 @@
+(* The benchmark executable.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Table II, Figs. 6-11) at the `quick` scale and prints the same
+   rows/series the paper reports — set CHRONUS_SCALE=paper in the
+   environment for the published scale.
+
+   Part 2 runs Bechamel micro-benchmarks over every algorithmic component:
+   the greedy scheduler (both engines), the dependency-relation and
+   loop-check primitives, the oracle, the time-extended network
+   construction, and the baselines. *)
+
+open Bechamel
+module E = Chronus_experiments
+open Chronus_flow
+open Chronus_core
+open Chronus_baselines
+open Chronus_topo
+
+let experiments scale =
+  let banner name =
+    Printf.printf "\n================ %s ================\n%!" name
+  in
+  banner E.Table2.name;
+  E.Table2.print (E.Table2.run ());
+  banner E.Fig6.name;
+  E.Fig6.print (E.Fig6.run ());
+  banner E.Fig7.name;
+  E.Fig7.print (E.Fig7.run ~scale ());
+  banner E.Fig8.name;
+  E.Fig8.print (E.Fig8.run ~scale ());
+  banner E.Fig9.name;
+  E.Fig9.print (E.Fig9.run ~scale ());
+  banner E.Fig10.name;
+  E.Fig10.print (E.Fig10.run ~scale ());
+  banner E.Fig11.name;
+  E.Fig11.print (E.Fig11.run ~scale ());
+  banner E.Ablation.name;
+  E.Ablation.print (E.Ablation.run ~scale ())
+
+(* Deterministic instances reused across benchmark iterations. *)
+let instance_of_size n =
+  let rng = Rng.make (1000 + n) in
+  Scenario.long_chain ~rng (Scenario.spec ~capacity_choices:[ 2 ] n)
+
+let fig1 = Scenario.fig1_example ()
+
+let greedy_tests =
+  List.map
+    (fun n ->
+      let inst = instance_of_size n in
+      Test.make
+        ~name:(Printf.sprintf "greedy-analytic/%d" n)
+        (Staged.stage (fun () ->
+             ignore (Greedy.schedule ~mode:Greedy.Analytic inst))))
+    [ 50; 200; 800 ]
+
+let greedy_exact_tests =
+  List.map
+    (fun n ->
+      let inst = instance_of_size n in
+      Test.make
+        ~name:(Printf.sprintf "greedy-exact/%d" n)
+        (Staged.stage (fun () ->
+             ignore (Greedy.schedule ~mode:Greedy.Exact inst))))
+    [ 20; 60 ]
+
+let primitive_tests =
+  let inst = instance_of_size 200 in
+  let drain = Drain.make inst in
+  let remaining = Instance.switches_to_update inst in
+  let sched =
+    match Greedy.schedule ~mode:Greedy.Analytic inst with
+    | Greedy.Scheduled s -> s
+    | Greedy.Infeasible { partial; _ } -> partial
+  in
+  [
+    Test.make ~name:"dependency-set/200"
+      (Staged.stage (fun () ->
+           ignore
+             (Dependency.at inst drain Schedule.empty ~remaining ~time:0)));
+    Test.make ~name:"drain-view/200"
+      (Staged.stage (fun () -> ignore (Drain.view drain sched)));
+    Test.make ~name:"loop-check/200"
+      (Staged.stage (fun () ->
+           ignore
+             (Loop_check.timed inst Schedule.empty
+                ~candidate:(List.hd remaining) ~time:0)));
+    Test.make ~name:"oracle-evaluate/200"
+      (Staged.stage (fun () -> ignore (Oracle.evaluate inst sched)));
+    Test.make ~name:"time-extended-build/fig1"
+      (Staged.stage (fun () ->
+           ignore
+             (Time_extended.build fig1.Instance.graph ~t_lo:(-5) ~t_hi:5)));
+    Test.make ~name:"tree-check/fig1"
+      (Staged.stage (fun () -> ignore (Tree.check fig1)));
+  ]
+
+let baseline_tests =
+  let inst = instance_of_size 60 in
+  [
+    Test.make ~name:"or-greedy-rounds/60"
+      (Staged.stage (fun () ->
+           ignore (Order_replacement.greedy_rounds inst)));
+    Test.make ~name:"or-minimum-rounds/fig1"
+      (Staged.stage (fun () ->
+           ignore (Order_replacement.minimum_rounds fig1)));
+    Test.make ~name:"opt-branch-and-bound/fig1"
+      (Staged.stage (fun () ->
+           ignore (Opt.solve ~budget:100_000 ~timeout:10.0 fig1)));
+    Test.make ~name:"tp-rule-count/60"
+      (Staged.stage (fun () -> ignore (Two_phase.rule_count inst)));
+  ]
+
+let benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"chronus"
+      (greedy_tests @ greedy_exact_tests @ primitive_tests @ baseline_tests)
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, nanos) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "\n================ micro-benchmarks ================\n";
+  Printf.printf "%-45s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun (name, nanos) ->
+      let human =
+        if Float.is_nan nanos then "n/a"
+        else if nanos > 1e9 then Printf.sprintf "%8.3f  s" (nanos /. 1e9)
+        else if nanos > 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
+        else if nanos > 1e3 then Printf.sprintf "%8.3f us" (nanos /. 1e3)
+        else Printf.sprintf "%8.0f ns" nanos
+      in
+      Printf.printf "%-45s %16s\n" name human)
+    rows
+
+let () =
+  let scale =
+    match Sys.getenv_opt "CHRONUS_SCALE" with
+    | Some preset -> E.Scale.parse preset
+    | None -> E.Scale.quick
+  in
+  experiments scale;
+  benchmarks ();
+  print_newline ()

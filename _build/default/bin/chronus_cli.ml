@@ -1,0 +1,212 @@
+(* The chronus command-line tool: schedule one update instance, inspect
+   the algorithms' intermediate structures, or regenerate any table/figure
+   of the paper's evaluation. *)
+
+open Cmdliner
+open Chronus_flow
+open Chronus_core
+module E = Chronus_experiments
+
+let scale_arg =
+  let doc = "Experiment scale preset: quick or paper." in
+  Arg.(value & opt string "quick" & info [ "scale" ] ~docv:"PRESET" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let instance_of_generator ~gen ~n ~seed =
+  let rng = Chronus_topo.Rng.make seed in
+  let spec = Chronus_topo.Scenario.spec n in
+  match gen with
+  | "fig1" -> Chronus_topo.Scenario.fig1_example ()
+  | "random-final" -> Chronus_topo.Scenario.random_final ~rng spec
+  | "reversal" -> Chronus_topo.Scenario.segment_reversal ~rng spec
+  | "shortcut" -> Chronus_topo.Scenario.shortcut ~rng spec
+  | "random-pair" -> Chronus_topo.Scenario.random_pair ~rng spec
+  | "mixed" -> Chronus_topo.Scenario.mixed ~rng spec
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown generator %S (fig1, random-final, reversal, shortcut, \
+            random-pair, mixed)"
+           other)
+
+(* chronus schedule *)
+let schedule_cmd =
+  let gen =
+    Arg.(
+      value & opt string "fig1"
+      & info [ "generator" ] ~docv:"GEN" ~doc:"Instance generator.")
+  in
+  let n =
+    Arg.(
+      value & opt int 10
+      & info [ "switches" ] ~docv:"N" ~doc:"Number of switches.")
+  in
+  let run gen n seed =
+    let inst = instance_of_generator ~gen ~n ~seed in
+    Format.printf "%a@.@." Instance.pp inst;
+    let drain = Drain.make inst in
+    let dep =
+      Dependency.at inst drain Schedule.empty
+        ~remaining:(Instance.switches_to_update inst)
+        ~time:0
+    in
+    Format.printf "dependency relations at t0: %a@.@." Dependency.pp dep;
+    List.iter
+      (fun c -> Format.printf "crossing: %a@." Tree.pp_crossing c)
+      (Tree.crossings inst);
+    (match Greedy.schedule ~mode:Greedy.Exact inst with
+    | Greedy.Scheduled s ->
+        Format.printf "@.schedule: %a@.update time |T| = %d steps@."
+          Schedule.pp s (Schedule.makespan s);
+        Format.printf "oracle: %a@." Oracle.pp_report (Oracle.evaluate inst s)
+    | Greedy.Infeasible { remaining; _ } ->
+        Format.printf
+          "@.no congestion- and loop-free schedule exists (%d switches \
+           unschedulable); best effort:@."
+          (List.length remaining);
+        let { Fallback.schedule; _ } = Fallback.schedule inst in
+        Format.printf "schedule: %a@.oracle: %a@." Schedule.pp schedule
+          Oracle.pp_report
+          (Oracle.evaluate inst schedule));
+    0
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Compute a Chronus timed update schedule.")
+    Term.(const run $ gen $ n $ seed_arg)
+
+(* chronus experiment *)
+let experiment_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, ablation, all.")
+  in
+  let run which scale_name =
+    let scale = E.Scale.parse scale_name in
+    let dispatch = function
+      | "table2" -> E.Table2.print (E.Table2.run ())
+      | "fig6" -> E.Fig6.print (E.Fig6.run ())
+      | "fig7" -> E.Fig7.print (E.Fig7.run ~scale ())
+      | "fig8" -> E.Fig8.print (E.Fig8.run ~scale ())
+      | "fig9" -> E.Fig9.print (E.Fig9.run ~scale ())
+      | "fig10" -> E.Fig10.print (E.Fig10.run ~scale ())
+      | "fig11" -> E.Fig11.print (E.Fig11.run ~scale ())
+      | "ablation" -> E.Ablation.print (E.Ablation.run ~scale ())
+      | other ->
+          invalid_arg (Printf.sprintf "unknown experiment %S" other)
+    in
+    (match which with
+    | "all" ->
+        List.iter
+          (fun w ->
+            dispatch w;
+            print_newline ())
+          [
+            "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+            "ablation";
+          ]
+    | w -> dispatch w);
+    0
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a table or figure of the paper's evaluation.")
+    Term.(const run $ which $ scale_arg)
+
+(* chronus demo *)
+let demo_cmd =
+  let run seed =
+    let inst = Chronus_topo.Scenario.fig1_example () in
+    Format.printf
+      "Running the paper's worked example (Figs. 1-3) on the simulator@.@.";
+    let c = Chronus_exec.Timed_exec.run ~seed inst in
+    let o = Chronus_exec.Order_exec.run ~seed inst in
+    Format.printf
+      "Chronus: schedule %a, peak %.2f Mbit/s, loss %d bytes@." Schedule.pp
+      c.Chronus_exec.Timed_exec.schedule
+      c.Chronus_exec.Timed_exec.result.Chronus_exec.Exec_env.peak_mbps
+      c.Chronus_exec.Timed_exec.result.Chronus_exec.Exec_env.loss_bytes;
+    Format.printf "OR:      %d rounds, peak %.2f Mbit/s, loss %d bytes@."
+      (List.length o.Chronus_exec.Order_exec.rounds)
+      o.Chronus_exec.Order_exec.result.Chronus_exec.Exec_env.peak_mbps
+      o.Chronus_exec.Order_exec.result.Chronus_exec.Exec_env.loss_bytes;
+    0
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the worked example on the simulator.")
+    Term.(const run $ seed_arg)
+
+(* chronus render *)
+let render_cmd =
+  let gen =
+    Arg.(
+      value & opt string "fig1"
+      & info [ "generator" ] ~docv:"GEN" ~doc:"Instance generator.")
+  in
+  let n =
+    Arg.(
+      value & opt int 10
+      & info [ "switches" ] ~docv:"N" ~doc:"Number of switches.")
+  in
+  let out =
+    Arg.(
+      value & opt string "chronus"
+      & info [ "out" ] ~docv:"PREFIX" ~doc:"Output file prefix.")
+  in
+  let run gen n seed out =
+    let inst = instance_of_generator ~gen ~n ~seed in
+    (* Fig. 1: the network with the solid initial and dashed final path. *)
+    Chronus_graph.Dot.write_file ~name:"network"
+      ~initial_path:inst.Instance.p_init ~final_path:inst.Instance.p_fin
+      (out ^ "-network.dot") inst.Instance.graph;
+    Printf.printf "wrote %s-network.dot\n" out;
+    (* Fig. 2: the time-extended network with the flow of the computed
+       schedule highlighted. *)
+    let sched =
+      match Greedy.schedule inst with
+      | Greedy.Scheduled s -> s
+      | Greedy.Infeasible _ -> (Fallback.schedule inst).Fallback.schedule
+    in
+    let te = Time_extended.of_instance inst sched in
+    let highlight =
+      List.map (fun (a, b, _) -> (a, b)) (Time_extended.flow_links te inst sched)
+    in
+    let oc = open_out (out ^ "-time-extended.dot") in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Time_extended.to_dot ~highlight te));
+    Printf.printf "wrote %s-time-extended.dot (schedule %s)\n" out
+      (Format.asprintf "%a" Schedule.pp sched);
+    0
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:
+         "Write Graphviz files: the network with both routes (Fig. 1) and \
+          the time-extended network carrying the scheduled flow (Fig. 2).")
+    Term.(const run $ gen $ n $ seed_arg $ out)
+
+(* chronus ilp *)
+let ilp_cmd =
+  let run seed =
+    let inst = instance_of_generator ~gen:"fig1" ~n:6 ~seed in
+    print_string (Mutp.render_ilp inst);
+    0
+  in
+  Cmd.v
+    (Cmd.info "ilp"
+       ~doc:"Print the MUTP integer program (3) for the worked example.")
+    Term.(const run $ seed_arg)
+
+let main =
+  let doc = "Chronus: consistent data plane updates in timed SDNs" in
+  Cmd.group
+    (Cmd.info "chronus" ~version:"1.0.0" ~doc)
+    [ schedule_cmd; experiment_cmd; render_cmd; demo_cmd; ilp_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Chronus_core Chronus_flow Chronus_graph Chronus_topo Format Graph Greedy Instance List Oracle Path Rng Schedule Shortest Topology

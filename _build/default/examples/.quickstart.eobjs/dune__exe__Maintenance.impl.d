@@ -1,0 +1,1 @@
+examples/maintenance.ml: Chronus_core Chronus_exec Chronus_flow Chronus_graph Chronus_sim Exec_env Format Graph Greedy Instance List Oracle Schedule Sim_time Timed_exec

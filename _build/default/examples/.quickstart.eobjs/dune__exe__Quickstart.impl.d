@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chronus_core Chronus_flow Chronus_graph Format Graph Greedy Instance List Oracle Schedule

@@ -1,0 +1,1 @@
+examples/timed_vs_untimed.ml: Chronus_baselines Chronus_core Chronus_flow Chronus_stats Chronus_topo Fallback Instance List Oracle Order_replacement Printf Rng Scenario Schedule Table

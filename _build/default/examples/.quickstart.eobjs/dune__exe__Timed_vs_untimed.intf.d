@@ -1,0 +1,1 @@
+examples/timed_vs_untimed.mli:

@@ -1,0 +1,61 @@
+(* Failure recovery (motivation (4) of the paper): a link fails, traffic
+   must move to the precomputed backup path *now* — but a panicked
+   all-at-once update melts the backup path's shared links. The example
+   sweeps every (primary, backup) pair of a grid topology, showing that
+   Chronus schedules are both fast (small |T|) and always consistent.
+
+   Run with: dune exec examples/failure_recovery.exe *)
+
+open Chronus_graph
+open Chronus_flow
+open Chronus_core
+open Chronus_topo
+
+let () =
+  let rng = Rng.make 5 in
+  let params = { Topology.capacity = 2; delay = 1 } in
+  let g = Topology.grid ~params 4 3 in
+  let g = Topology.randomize_delays ~rng ~lo:1 ~hi:3 g in
+  let src = 0 and dst = 11 in
+  let primary =
+    match Shortest.shortest_path g src dst with
+    | Some p -> p
+    | None -> failwith "grid is connected"
+  in
+  Format.printf "primary route: %a@." Path.pp primary;
+
+  (* Fail each link of the primary in turn; the backup is the shortest
+     path avoiding it. *)
+  let consistent = ref 0 and total = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      let g' = Graph.copy g in
+      Graph.remove_edge g' u v;
+      match Shortest.shortest_path g' src dst with
+      | None -> ()
+      | Some backup ->
+          incr total;
+          (* Make-before-break: the backup avoids the degrading link, but
+             the link still carries the old flow until the reroute — so
+             the instance keeps the full graph. *)
+          let inst =
+            Instance.create ~graph:g ~demand:1 ~p_init:primary
+              ~p_fin:backup
+          in
+          let outcome = Greedy.schedule inst in
+          (match outcome with
+          | Greedy.Scheduled sched ->
+              incr consistent;
+              Format.printf
+                "link v%d->v%d fails: backup %a, |T| = %d, %a@." u v Path.pp
+                backup (Schedule.makespan sched) Oracle.pp_report
+                (Oracle.evaluate inst sched)
+          | Greedy.Infeasible _ ->
+              Format.printf
+                "link v%d->v%d fails: backup %a, no consistent schedule — \
+                 falling back@."
+                u v Path.pp backup))
+    (Path.edges primary);
+  Format.printf "@.%d/%d failovers scheduled consistently@." !consistent
+    !total;
+  assert (!total > 0)

@@ -1,0 +1,63 @@
+(* Network maintenance (motivation (3) of the paper): drain a router that
+   must be replaced. The flow is moved off the router, the schedule shows
+   when the router's own rule can be *deleted* — only after its traffic
+   has provably drained — and the update is then executed on the
+   discrete-event simulator, end to end, with byte-level accounting.
+
+   Run with: dune exec examples/maintenance.exe *)
+
+open Chronus_graph
+open Chronus_flow
+open Chronus_core
+open Chronus_sim
+open Chronus_exec
+
+let () =
+  (* Router 3 must be serviced. The flow 0 -> 6 currently crosses it;
+     the replacement route goes 0-1-4-5-6 around it. Router 2 and 3 both
+     leave the path, so their rules are deleted during the update. *)
+  let g = Graph.create () in
+  List.iter
+    (fun (u, v, delay) -> Graph.add_edge ~capacity:1 ~delay g u v)
+    [
+      (0, 1, 1); (1, 2, 2); (2, 3, 1); (3, 6, 2);  (* current route *)
+      (1, 4, 2); (4, 5, 1); (5, 6, 2);             (* replacement *)
+    ];
+  let inst =
+    Instance.create ~graph:g ~demand:1 ~p_init:[ 0; 1; 2; 3; 6 ]
+      ~p_fin:[ 0; 1; 4; 5; 6 ]
+  in
+  Format.printf "%a@.@." Instance.pp inst;
+  List.iter
+    (fun (u : Instance.update) ->
+      Format.printf "update at v%d: %s@." u.Instance.switch
+        (match u.Instance.kind with
+        | Instance.Modify -> "modify action"
+        | Instance.Add -> "install rule"
+        | Instance.Delete -> "delete rule (after drain)"))
+    (Instance.updates inst);
+
+  (match Greedy.schedule inst with
+  | Greedy.Scheduled sched ->
+      Format.printf "@.maintenance schedule: %a@." Schedule.pp sched;
+      let report = Oracle.evaluate inst sched in
+      Format.printf "oracle: %a@." Oracle.pp_report report;
+      (* The deletes land strictly after the last cohort through v2/v3. *)
+      List.iter
+        (fun v ->
+          match Schedule.find v sched with
+          | Some t -> Format.printf "  router v%d decommissioned at t=%d@." v t
+          | None -> ())
+        [ 2; 3 ]
+  | Greedy.Infeasible _ -> Format.printf "infeasible@.");
+
+  (* Execute on the simulator: microsecond-timestamped flow-mods, barrier
+     confirmation, per-link byte counters. *)
+  let run = Timed_exec.run inst in
+  let r = run.Timed_exec.result in
+  Format.printf
+    "@.simulator: peak %.2f Mbit/s, %d bytes lost, update span %a, %d \
+     commands@."
+    r.Exec_env.peak_mbps r.Exec_env.loss_bytes Sim_time.pp
+    r.Exec_env.update_span r.Exec_env.commands;
+  assert (r.Exec_env.loss_bytes = 0)

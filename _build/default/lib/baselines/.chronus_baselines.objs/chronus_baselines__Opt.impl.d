@@ -1,0 +1,1 @@
+lib/baselines/opt.ml: Chronus_core Chronus_flow Feasibility Greedy Instance Lazy List Mutp Oracle Schedule Sys

@@ -1,0 +1,1 @@
+lib/baselines/opt.mli: Chronus_flow Instance Schedule

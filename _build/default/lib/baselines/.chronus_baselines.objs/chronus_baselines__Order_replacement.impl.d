@@ -1,0 +1,1 @@
+lib/baselines/order_replacement.ml: Chronus_flow Chronus_graph Cycle Graph Instance Int List Schedule Set

@@ -1,0 +1,1 @@
+lib/baselines/order_replacement.mli: Chronus_flow Chronus_graph Graph Instance Schedule

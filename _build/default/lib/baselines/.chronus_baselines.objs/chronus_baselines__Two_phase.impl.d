@@ -1,0 +1,1 @@
+lib/baselines/two_phase.ml: Chronus_flow Chronus_graph Graph Instance Int List Path Set

@@ -1,0 +1,1 @@
+lib/baselines/two_phase.mli: Chronus_flow Chronus_graph Graph Instance Path

@@ -1,0 +1,135 @@
+open Chronus_flow
+open Chronus_core
+
+type outcome =
+  | Optimal of Schedule.t
+  | Feasible of Schedule.t
+  | Infeasible
+  | Unknown
+
+type result = {
+  outcome : outcome;
+  makespan : int option;
+  nodes_explored : int;
+  elapsed : float;
+}
+
+exception Out_of_budget
+
+let violation_time = function
+  | Oracle.Congestion { time; _ }
+  | Oracle.Loop { time; _ }
+  | Oracle.Blackhole { time; _ } ->
+      time
+
+let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint inst =
+  let start = Sys.time () in
+  let explored = ref 0 in
+  let finish outcome =
+    let makespan =
+      match outcome with
+      | Optimal s | Feasible s -> Some (Schedule.makespan s)
+      | Infeasible | Unknown -> None
+    in
+    { outcome; makespan; nodes_explored = !explored; elapsed = Sys.time () -. start }
+  in
+  if Instance.is_trivial inst then finish (Optimal Schedule.empty)
+  else begin
+    (* The upper bound comes from the caller's [hint] (a known-consistent
+       schedule, typically the greedy's) when available; otherwise the
+       polynomial greedy supplies it lazily. *)
+    let greedy_result =
+      lazy
+        (match hint with
+        | Some s -> Greedy.Scheduled s
+        | None -> Greedy.schedule ~mode:Greedy.Analytic inst)
+    in
+    let upper =
+      match (horizon, hint) with
+      | Some h, _ -> h
+      | None, Some s -> Schedule.makespan s
+      | None, None -> (
+          match Lazy.force greedy_result with
+          | Greedy.Scheduled s -> Schedule.makespan s
+          | Greedy.Infeasible _ -> Feasibility.default_horizon inst)
+    in
+    let tick () =
+      incr explored;
+      if !explored > budget || Sys.time () -. start > timeout then
+        raise Out_of_budget
+    in
+    (* Any violation at or below the frontier step is definitive: flips
+       strictly later cannot influence flow behaviour that early. *)
+    let violated_by sched frontier =
+      List.exists
+        (fun v -> violation_time v <= frontier)
+        (Oracle.evaluate inst sched).Oracle.violations
+    in
+    let all = Instance.switches_to_update inst in
+    let rec dfs t sched remaining bound =
+      tick ();
+      if remaining = [] then
+        if Oracle.is_consistent inst sched then Some sched else None
+      else if t >= bound then None
+      else if t = bound - 1 then begin
+        (* Last step inside the bound: everything left must flip now. *)
+        let sched' =
+          List.fold_left (fun s v -> Schedule.add v t s) sched remaining
+        in
+        if Oracle.is_consistent inst sched' then Some sched' else None
+      end
+      else begin
+        (* Choose the subset flipping at step [t]: binary DFS over the
+           remaining switches. Violations strictly below [t] kill a branch
+           during growth; violations at [t] are only final once the subset
+           is closed (a same-step flip can still cure them). *)
+        let rec choose sched_acc committed rest =
+          match rest with
+          | [] ->
+              if violated_by sched_acc t then None
+              else
+                dfs (t + 1) sched_acc
+                  (List.filter (fun v -> not (List.mem v committed)) remaining)
+                  bound
+          | v :: tl -> (
+              tick ();
+              let sched_v = Schedule.add v t sched_acc in
+              let included =
+                if violated_by sched_v (t - 1) then None
+                else choose sched_v (v :: committed) tl
+              in
+              match included with
+              | Some _ as found -> found
+              | None -> choose sched_acc committed tl)
+        in
+        choose sched [] remaining
+      end
+    in
+    let lower = max 1 (Mutp.lower_bound inst) in
+    let deepen () =
+      let rec at m =
+        if m > upper then None
+        else
+          match dfs 0 Schedule.empty all m with
+          | Some sched -> Some sched
+          | None -> at (m + 1)
+      in
+      at lower
+    in
+    match deepen () with
+    | Some sched -> finish (Optimal sched)
+    | None -> finish Infeasible
+    | exception Out_of_budget -> (
+        (* Only fall back on work already done: forcing a fresh greedy run
+           here would defeat the budget. *)
+        match hint with
+        | Some s -> finish (Feasible s)
+        | None ->
+            if Lazy.is_val greedy_result then
+              match Lazy.force greedy_result with
+              | Greedy.Scheduled s -> finish (Feasible s)
+              | Greedy.Infeasible _ -> finish Unknown
+            else finish Unknown)
+  end
+
+let makespan_of r = r.makespan

@@ -1,0 +1,45 @@
+(** The TP baseline: two-phase commit updates (Reitblatt et al.,
+    SIGCOMM'12), versioned with VLAN-tag stamping as in the paper's
+    experiments.
+
+    Phase one installs, at every switch of the final path, a copy of the
+    forwarding rule matching the new version tag, while traffic is still
+    stamped with the old tag and follows the old rules. Phase two flips
+    the stamp at the ingress; in-flight old-tag packets drain, after which
+    the old rules are garbage-collected. The protocol is per-packet
+    consistent by construction but is oblivious to link capacities and
+    transmission delays, and it doubles the rule footprint during the
+    transition — the cost plotted in Fig. 9. *)
+
+open Chronus_graph
+open Chronus_flow
+
+type rule_count = {
+  steady : int;  (** rules before/after the update (one per path switch) *)
+  transition_peak : int;
+      (** rules present between phase one and garbage collection: old
+          rules + tagged new rules + the ingress stamping rule *)
+}
+
+val rule_count : Instance.t -> rule_count
+
+val chronus_rule_count : Instance.t -> int
+(** Rules Chronus needs during the same transition: one per switch on
+    either path (actions are modified in place, no versioned copies). *)
+
+(** Cohort-level behaviour: packets stamped before the flip follow the
+    initial path, packets stamped after follow the final path. *)
+
+val path_of_cohort : Instance.t -> flip:int -> int -> Path.t
+(** The path of the cohort injected at a given step under an ingress flip
+    at step [flip]. *)
+
+val congested_links : Instance.t -> flip:int -> (Graph.node * Graph.node * int) list
+(** Time-extended links that exceed capacity during the transition:
+    a link shared by both paths clashes when the old-path prefix delay
+    exceeds the new-path prefix delay (an old-tag cohort and a younger
+    new-tag cohort enter it at the same step). Independent of [flip]
+    except for the step labels. *)
+
+val is_per_packet_consistent : Instance.t -> flip:int -> bool
+(** Always [true]; exercised as a property test. *)

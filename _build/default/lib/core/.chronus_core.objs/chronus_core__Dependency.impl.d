@@ -1,0 +1,1 @@
+lib/core/dependency.ml: Chronus_flow Chronus_graph Cycle Drain Format Graph Hashtbl Horizon Instance List Traversal

@@ -1,0 +1,1 @@
+lib/core/dependency.mli: Chronus_flow Chronus_graph Drain Format Graph Instance Schedule

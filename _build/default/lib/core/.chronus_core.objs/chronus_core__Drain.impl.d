@@ -1,0 +1,1 @@
+lib/core/drain.ml: Array Chronus_flow Chronus_graph Graph Hashtbl Horizon Instance List Schedule

@@ -1,0 +1,1 @@
+lib/core/drain.mli: Chronus_flow Chronus_graph Graph Horizon Instance Schedule

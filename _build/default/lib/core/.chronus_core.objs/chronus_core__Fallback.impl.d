@@ -1,0 +1,1 @@
+lib/core/fallback.ml: Chronus_flow Drain Greedy Instance List Schedule

@@ -1,0 +1,1 @@
+lib/core/fallback.mli: Chronus_flow Greedy Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Chronus_flow Instance Oracle Schedule

@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Chronus_flow Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Chronus_flow Chronus_graph Dependency Drain Graph Hashtbl Horizon Instance List Oracle Safety Schedule

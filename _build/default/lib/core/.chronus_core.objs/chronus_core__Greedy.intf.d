@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Chronus_flow Chronus_graph Graph Instance Schedule

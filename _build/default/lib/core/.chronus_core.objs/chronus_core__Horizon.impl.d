@@ -1,0 +1,1 @@
+lib/core/horizon.ml: Format Int

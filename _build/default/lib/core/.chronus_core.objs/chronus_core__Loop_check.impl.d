@@ -1,0 +1,1 @@
+lib/core/loop_check.ml: Chronus_flow Instance Oracle Schedule

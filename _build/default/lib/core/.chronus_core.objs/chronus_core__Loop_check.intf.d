@@ -1,0 +1,1 @@
+lib/core/loop_check.mli: Chronus_flow Chronus_graph Graph Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/mutp.ml: Buffer Chronus_flow Chronus_graph Feasibility Fun Graph Hashtbl Instance List Option Oracle Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/mutp.mli: Chronus_flow Instance Schedule

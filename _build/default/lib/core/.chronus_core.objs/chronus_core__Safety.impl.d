@@ -1,0 +1,1 @@
+lib/core/safety.ml: Chronus_flow Chronus_graph Drain Format Graph Hashtbl Horizon Instance List Option Oracle Schedule

@@ -1,0 +1,1 @@
+lib/core/safety.mli: Chronus_flow Chronus_graph Drain Format Graph Horizon Instance Schedule

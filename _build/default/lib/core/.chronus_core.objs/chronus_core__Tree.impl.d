@@ -1,0 +1,1 @@
+lib/core/tree.ml: Chronus_flow Chronus_graph Format Graph Greedy Instance List Option Path Printf

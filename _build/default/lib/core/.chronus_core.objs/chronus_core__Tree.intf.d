@@ -1,0 +1,1 @@
+lib/core/tree.mli: Chronus_flow Chronus_graph Format Graph Instance

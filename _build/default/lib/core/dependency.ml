@@ -1,0 +1,101 @@
+open Chronus_graph
+open Chronus_flow
+
+type t = {
+  chains : Graph.node list list;
+  cyclic : Graph.node list list;
+}
+
+(* Nearest not-yet-updated switch strictly upstream of [w] on the initial
+   path: the switch whose flip can divert the old stream away from [w]. *)
+let nearest_remaining_ancestor inst remaining w =
+  let rec walk v =
+    match Instance.old_prev inst v with
+    | None -> None
+    | Some x -> if Hashtbl.mem remaining x then Some x else walk x
+  in
+  walk w
+
+let relations inst drain sched ~remaining ~time =
+  let g = inst.Instance.graph in
+  let d = inst.Instance.demand in
+  let dview = Drain.view drain sched in
+  Hashtbl.fold
+    (fun v_i () acc ->
+      match Instance.new_next inst v_i with
+      | None -> acc (* a Delete redirects nothing; only drain gates it *)
+      | Some w ->
+          if Horizon.before (Drain.last_arrival dview v_i) time then
+            (* Inert: no traffic will reach v_i again, flipping it cannot
+               congest anything. *)
+            acc
+          else begin
+            let arrival = time + Graph.delay g v_i w in
+            match Instance.old_next inst w with
+            | None -> acc (* w is the destination or off the old path *)
+            | Some w_next ->
+                let live =
+                  Horizon.at_or_after (Drain.last_old_exit dview w) arrival
+                in
+                if live && Graph.capacity g w w_next < 2 * d then
+                  match nearest_remaining_ancestor inst remaining w with
+                  | Some x when x <> v_i -> (x, v_i) :: acc
+                  | Some _ | None -> acc
+                else acc
+          end)
+    remaining []
+
+let at inst drain sched ~remaining ~time =
+  let members = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace members v ()) remaining;
+  let deps = relations inst drain sched ~remaining:members ~time in
+  (* Chains are the weakly-connected components of the dependency digraph,
+     listed in topological order; a cyclic component has no head. *)
+  let dep_graph = Graph.create () in
+  List.iter (fun v -> Graph.add_node dep_graph v) remaining;
+  List.iter (fun (x, y) -> Graph.add_edge dep_graph x y) deps;
+  let undirected = Graph.create () in
+  List.iter (fun v -> Graph.add_node undirected v) remaining;
+  List.iter
+    (fun (x, y) ->
+      Graph.add_edge undirected x y;
+      Graph.add_edge undirected y x)
+    deps;
+  let seen = Hashtbl.create 16 in
+  let chains = ref [] and cyclic = ref [] in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        let component = Traversal.bfs_order undirected v in
+        List.iter (fun u -> Hashtbl.replace seen u ()) component;
+        let sub = Graph.create () in
+        List.iter (fun u -> Graph.add_node sub u) component;
+        List.iter
+          (fun (x, y) ->
+            if List.mem x component then Graph.add_edge sub x y)
+          deps;
+        match Cycle.topological_sort sub with
+        | Some order -> chains := order :: !chains
+        | None -> cyclic := List.sort compare component :: !cyclic
+      end)
+    (List.sort compare remaining);
+  {
+    chains = List.sort compare !chains;
+    cyclic = List.sort compare !cyclic;
+  }
+
+let heads t =
+  List.filter_map (function [] -> None | v :: _ -> Some v) t.chains
+  |> List.sort compare
+
+let pp ppf t =
+  let pp_chain ppf chain =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+         (fun ppf v -> Format.fprintf ppf "v%d" v))
+      chain
+  in
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_chain)
+    (t.chains @ t.cyclic)

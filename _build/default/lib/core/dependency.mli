@@ -1,0 +1,45 @@
+(** Algorithm 3: the dependency relation set [O_t].
+
+    Updating switch [v_i] at step [t] redirects its arriving traffic onto
+    its new next hop [w]; that traffic then leaves [w] on the link [w]
+    still uses for the old flow. If that link cannot carry both the old
+    and the new stream ([C < 2d]) while old flow is still crossing it, some
+    old-path switch upstream of [w] must flip first to divert the old
+    stream — a dependency [x -> v_i]. Relations sharing switches are merged
+    into chains (Fig. 5 of the paper); only chain heads are update
+    candidates at step [t].
+
+    Two refinements over the paper's pseudocode, both derived from the
+    drain horizons of {!Drain}: a switch at which no traffic will ever
+    arrive again is *inert* and gets no dependency (this is how Fig. 5's
+    [t_1] state drops [v_3]'s incoming dependency), and a dependency is
+    only emitted while the protected link actually still carries old flow
+    at the redirected stream's arrival step. *)
+
+open Chronus_graph
+open Chronus_flow
+
+type t = {
+  chains : Graph.node list list;
+      (** one topologically ordered chain per weakly-connected component of
+          the dependency relation, singletons included; sorted by head *)
+  cyclic : Graph.node list list;
+      (** components whose relation is cyclic: no safe head exists there
+          until drain dissolves a dependency (Algorithm 2 line 7) *)
+}
+
+val at :
+  Instance.t ->
+  Drain.t ->
+  Schedule.t ->
+  remaining:Graph.node list ->
+  time:int ->
+  t
+(** The dependency relation set among the not-yet-updated switches at a
+    time step, given the already committed partial schedule. *)
+
+val heads : t -> Graph.node list
+(** First element of every acyclic chain, sorted: the candidates that
+    Algorithm 2 submits to the loop check. *)
+
+val pp : Format.formatter -> t -> unit

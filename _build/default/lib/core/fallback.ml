@@ -1,0 +1,44 @@
+open Chronus_flow
+
+type result = { schedule : Schedule.t; clean : bool }
+
+(* Reverse final-path position first, then ascending id: downstream rules
+   flip before the traffic that needs them can arrive. Used as the last
+   resort when even the relaxed greedy cannot place a switch. *)
+let leftover_order inst remaining =
+  let p_fin = inst.Instance.p_fin in
+  let pos v =
+    let rec scan i = function
+      | [] -> -1
+      | x :: rest -> if x = v then i else scan (i + 1) rest
+    in
+    scan 0 p_fin
+  in
+  List.sort
+    (fun a b ->
+      match compare (pos b) (pos a) with 0 -> compare a b | c -> c)
+    remaining
+
+let complete inst partial remaining =
+  let drain = Drain.make inst in
+  let dview = Drain.view drain partial in
+  let horizon_max = List.fold_left max 0 (Drain.expiries dview) in
+  let start = max (Schedule.max_time partial + 1) (horizon_max + 1) in
+  (* Extra headroom so that deletes land after any conceivable drain. *)
+  let start = start + Instance.init_delay inst + 1 in
+  fst
+    (List.fold_left
+       (fun (s, t) v -> (Schedule.add v t s, t + 1))
+       (partial, start)
+       (leftover_order inst remaining))
+
+let schedule ?mode inst =
+  match Greedy.schedule ?mode inst with
+  | Greedy.Scheduled s -> { schedule = s; clean = true }
+  | Greedy.Infeasible _ -> (
+      (* Re-run with capacity constraints relaxed: congestion is now
+         accepted, loops and blackholes still are not. *)
+      match Greedy.schedule ?mode ~relax_congestion:true inst with
+      | Greedy.Scheduled s -> { schedule = s; clean = false }
+      | Greedy.Infeasible { partial; remaining } ->
+          { schedule = complete inst partial remaining; clean = false })

@@ -1,0 +1,55 @@
+(** Algorithm 2: the greedy timed-update scheduler.
+
+    Time advances step by step (jumping over provably uneventful waits);
+    at every step the dependency relation set (Algorithm 3) nominates the
+    chain heads, each head is vetted by a safety check (the timed loop
+    check of Algorithm 4 plus the congestion test), and every safe head is
+    committed at the current step — updating as many switches as possible
+    per step so as to minimise the total update time [|T|].
+
+    If at some step nothing can be committed, the scheduler waits: old
+    traffic keeps draining and previously unsafe flips become safe. Once
+    the network state can provably no longer change (every drain horizon
+    has passed and all committed transients have settled) and switches
+    remain, the instance is declared infeasible — this is the monotonicity
+    argument behind Theorem 2: a flip that is unsafe in a static state
+    stays unsafe forever. *)
+
+open Chronus_graph
+open Chronus_flow
+
+type mode =
+  | Exact  (** oracle-gated candidate checks; guaranteed-consistent output *)
+  | Analytic
+      (** the paper's polynomial checks via {!Safety.analytic}; scales to
+          thousands of switches (Fig. 10). The finished schedule is
+          validated once against the oracle; in the rare case the
+          polynomial approximation missed an interaction, the scheduler
+          transparently redoes the work in [Exact] mode — so [Scheduled]
+          results are always oracle-consistent in both modes. *)
+
+type outcome =
+  | Scheduled of Schedule.t
+  | Infeasible of { partial : Schedule.t; remaining : Graph.node list }
+
+type stats = {
+  steps_examined : int;  (** time steps actually visited *)
+  candidates_checked : int;
+  waits : int;  (** steps at which nothing could be committed *)
+}
+
+val schedule : ?mode:mode -> ?relax_congestion:bool -> Instance.t -> outcome
+(** Compute a timed update schedule. [mode] defaults to [Exact]. In
+    [Exact] mode a [Scheduled] result is always oracle-consistent.
+
+    With [relax_congestion] (default false) capacity violations no longer
+    gate a flip — only transient loops and blackholes do. This is the
+    best-effort engine behind {!Fallback}: on an instance with no
+    congestion-free schedule it still sequences every switch while
+    guaranteeing (in [Exact] mode) that no traffic is ever misrouted. *)
+
+val schedule_with_stats :
+  ?mode:mode -> ?relax_congestion:bool -> Instance.t -> outcome * stats
+
+val makespan : outcome -> int option
+(** Number of time steps of a successful schedule. *)

@@ -1,0 +1,32 @@
+type t = Never | Until of int | Forever
+
+let before h t =
+  match h with Never -> true | Until last -> last < t | Forever -> false
+
+let at_or_after h t = not (before h t)
+
+let compare a b =
+  match (a, b) with
+  | Never, Never | Forever, Forever -> 0
+  | Never, _ -> -1
+  | _, Never -> 1
+  | Forever, _ -> 1
+  | _, Forever -> -1
+  | Until x, Until y -> Int.compare x y
+
+let equal a b = compare a b = 0
+
+let min a b = if compare a b <= 0 then a else b
+
+let max a b = if compare a b >= 0 then a else b
+
+let add h delta =
+  match h with
+  | Never -> Never
+  | Forever -> Forever
+  | Until last -> Until (last + delta)
+
+let pp ppf = function
+  | Never -> Format.pp_print_string ppf "never"
+  | Forever -> Format.pp_print_string ppf "forever"
+  | Until t -> Format.fprintf ppf "until t=%d" t

@@ -1,0 +1,27 @@
+(** Time horizons: "until when does some traffic keep arriving?". Used by
+    the drain bookkeeping to describe how long old flow keeps crossing a
+    switch or link. *)
+
+type t =
+  | Never  (** no such traffic at all *)
+  | Until of int  (** last occurrence at this step (inclusive) *)
+  | Forever  (** never stops under the current schedule *)
+
+val before : t -> int -> bool
+(** [before h t] holds iff the traffic has stopped strictly before step
+    [t] — i.e. no occurrence at step [t] or later. *)
+
+val at_or_after : t -> int -> bool
+(** Negation of {!before}: some occurrence at step [t] or later. *)
+
+val min : t -> t -> t
+(** Earlier of two horizons ([Never] is smallest, [Forever] largest). *)
+
+val max : t -> t -> t
+
+val add : t -> int -> t
+(** Shift a finite horizon by a delay; [Never]/[Forever] are absorbing. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

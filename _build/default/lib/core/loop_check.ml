@@ -1,0 +1,26 @@
+open Chronus_flow
+
+let structural inst ~candidate =
+  match Instance.new_next inst candidate with
+  | None -> false
+  | Some w ->
+      (* Walk the initial path backwards from the candidate; meeting [w]
+         means the dashed link jumps back onto the candidate's own old
+         upstream, so old-configured switches would forward the flow
+         straight back. *)
+      let rec upstream v =
+        match Instance.old_prev inst v with
+        | None -> false
+        | Some x -> x = w || upstream x
+      in
+      upstream candidate
+
+let timed inst sched ~candidate ~time =
+  match Instance.new_next inst candidate with
+  | None -> false
+  | Some _ ->
+      let tentative = Schedule.add candidate time sched in
+      let cohort = Oracle.trace_from inst tentative candidate time in
+      (match cohort.Oracle.outcome with
+      | Oracle.Looped _ -> true
+      | Oracle.Delivered | Oracle.Dropped _ -> false)

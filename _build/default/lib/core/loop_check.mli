@@ -1,0 +1,23 @@
+(** Algorithm 4: checking for forwarding loops before updating a switch.
+
+    The paper's check walks backwards along the *solid* (initial-path)
+    links from the candidate's new next hop: if the candidate itself is
+    encountered, the redirected flow would re-enter a switch it already
+    crossed. We provide both that structural test and a timed variant that
+    follows the first redirected cohort through the actual rules in force
+    (which is what the time-extended formulation of the paper evaluates:
+    an old segment that has already flipped can no longer close a loop). *)
+
+open Chronus_graph
+open Chronus_flow
+
+val structural : Instance.t -> candidate:Graph.node -> bool
+(** [true] iff the candidate's new next hop lies strictly upstream of the
+    candidate on the initial path — the configuration in which a transient
+    loop is possible at all. Pure structure, ignores update times. *)
+
+val timed :
+  Instance.t -> Schedule.t -> candidate:Graph.node -> time:int -> bool
+(** [true] iff updating the candidate at [time] would send the first
+    redirected cohort around a loop, given the rules implied by [sched]
+    plus the tentative update. Exact for that cohort. *)

@@ -1,0 +1,30 @@
+(** The Minimum Update Time Problem (optimization program (3)).
+
+    The exact solvers live in [chronus_baselines.Opt] (branch and bound)
+    and {!Feasibility} (enumeration); this module states the problem:
+    objective, solution admissibility, bounds, and a textual rendering of
+    the integer program over the time-extended network for inspection. *)
+
+open Chronus_flow
+
+val objective : Schedule.t -> int
+(** [|T|]: the number of time steps spanned by the schedule. *)
+
+val is_solution : Instance.t -> Schedule.t -> bool
+(** Complete and oracle-consistent. *)
+
+val lower_bound : Instance.t -> int
+(** A makespan every solution must reach: 0 for trivial instances, else 1;
+    refined to 2 when the dependency relation at [t_0] chains two
+    non-inert switches (they can provably not share the first step). *)
+
+val upper_bound_hint : Instance.t -> int
+(** The sequential-with-drain bound used as the default search horizon. *)
+
+val render_ilp : ?horizon:int -> ?max_paths_per_flow:int -> Instance.t -> string
+(** Program (3) spelled out for this instance: the objective, one
+    capacity row (3a) per time-extended link in the window, the
+    single-path rows (3b) and the integrality rows (3c). Cohort paths
+    [P(f)] are enumerated (old/new rule choice per switch) and capped at
+    [max_paths_per_flow] (default 16) per cohort, as the full set is
+    exponential. *)

@@ -1,0 +1,1 @@
+lib/dynflow/instance.ml: Chronus_graph Format Graph Hashtbl Int List Path Set

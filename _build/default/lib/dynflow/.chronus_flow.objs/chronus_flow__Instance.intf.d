@@ -1,0 +1,1 @@
+lib/dynflow/instance.mli: Chronus_graph Format Graph Path

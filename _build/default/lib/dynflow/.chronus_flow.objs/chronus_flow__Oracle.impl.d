@@ -1,0 +1,1 @@
+lib/dynflow/oracle.ml: Chronus_graph Format Graph Hashtbl Instance List Option Schedule

@@ -1,0 +1,1 @@
+lib/dynflow/oracle.mli: Chronus_graph Format Graph Instance Schedule

@@ -1,0 +1,1 @@
+lib/dynflow/schedule.ml: Format Instance Int List Map Printf

@@ -1,0 +1,1 @@
+lib/dynflow/schedule.mli: Chronus_graph Format Graph Instance

@@ -1,0 +1,1 @@
+lib/dynflow/time_extended.ml: Buffer Chronus_graph Graph Instance List Oracle Printf Schedule

@@ -1,0 +1,1 @@
+lib/dynflow/time_extended.mli: Chronus_graph Graph Instance Schedule

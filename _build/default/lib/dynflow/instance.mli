@@ -1,0 +1,72 @@
+(** A network update instance: one dynamic flow of demand [d] must move
+    from an initial routing path [p_init] to a final routing path [p_fin]
+    with common source and destination (Section II-B of the paper). *)
+
+open Chronus_graph
+
+type memo
+(** Precomputed next/previous-hop tables; an implementation detail that
+    keeps the per-hop operations of the oracle O(1) on long paths. *)
+
+type t = private {
+  graph : Graph.t;
+  demand : int;
+  p_init : Path.t;  (** the solid line of Fig. 1 *)
+  p_fin : Path.t;  (** the dashed line of Fig. 1 *)
+  memo : memo;
+}
+
+(** How a switch's forwarding state changes during the update. *)
+type update_kind =
+  | Modify  (** on both paths with different next hops: action rewritten *)
+  | Add  (** only on the final path: a rule is installed *)
+  | Delete  (** only on the initial path: the rule is removed *)
+
+type update = {
+  switch : Graph.node;
+  old_next : Graph.node option;
+  new_next : Graph.node option;
+  kind : update_kind;
+}
+
+exception Ill_formed of string
+
+val create : graph:Graph.t -> demand:int -> p_init:Path.t -> p_fin:Path.t -> t
+(** Validates the instance: both paths are simple and valid in [graph],
+    share source and destination, [demand >= 1], and every link of either
+    path has capacity at least [demand] (otherwise even the steady states
+    are congested).
+    @raise Ill_formed with an explanatory message otherwise. *)
+
+val source : t -> Graph.node
+val destination : t -> Graph.node
+
+val old_next : t -> Graph.node -> Graph.node option
+(** Next hop on [p_init]; [None] off the path or at the destination. *)
+
+val new_next : t -> Graph.node -> Graph.node option
+(** Next hop on [p_fin]; [None] off the path or at the destination. *)
+
+val old_prev : t -> Graph.node -> Graph.node option
+(** Predecessor on [p_init]. *)
+
+val new_prev : t -> Graph.node -> Graph.node option
+
+val updates : t -> update list
+(** Switches whose forwarding state differs between the two paths, sorted
+    by switch id. The destination never appears. *)
+
+val switches_to_update : t -> Graph.node list
+(** [List.map (fun u -> u.switch) (updates l)]. *)
+
+val update_count : t -> int
+
+val is_trivial : t -> bool
+(** [true] when [p_init = p_fin] (nothing to update). *)
+
+val init_delay : t -> int
+(** [phi p_init]: total transmission delay of the initial path. *)
+
+val fin_delay : t -> int
+
+val pp : Format.formatter -> t -> unit

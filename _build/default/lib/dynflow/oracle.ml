@@ -1,0 +1,309 @@
+open Chronus_graph
+
+type outcome = Delivered | Looped of Graph.node | Dropped of Graph.node
+
+type cohort = {
+  injected : int;
+  visits : (Graph.node * int) list;
+  outcome : outcome;
+}
+
+type violation =
+  | Congestion of {
+      u : Graph.node;
+      v : Graph.node;
+      time : int;
+      load : int;
+      capacity : int;
+    }
+  | Loop of { switch : Graph.node; injected : int; time : int }
+  | Blackhole of { switch : Graph.node; injected : int; time : int }
+
+type report = {
+  ok : bool;
+  violations : violation list;
+  congested : (Graph.node * Graph.node * int) list;
+  peak_load : int;
+  window : int * int;
+}
+
+let rule_at inst sched v t =
+  match Schedule.find v sched with
+  | Some update_time when t >= update_time -> Instance.new_next inst v
+  | Some _ | None -> Instance.old_next inst v
+
+(* Follow one cohort. [record] is called with [(u, v, entry_time)] for every
+   link the cohort enters, including the entry on which a loop is detected
+   (the flow is physically on that link when it closes the loop). *)
+let trace_from_with inst sched ~record start injected =
+  let dst = Instance.destination inst in
+  let visited = Hashtbl.create 16 in
+  let rec step v t visits =
+    Hashtbl.replace visited v ();
+    if v = dst then { injected; visits = List.rev visits; outcome = Delivered }
+    else
+      match rule_at inst sched v t with
+      | None -> { injected; visits = List.rev visits; outcome = Dropped v }
+      | Some w ->
+          record v w t;
+          let t' = t + Graph.delay inst.Instance.graph v w in
+          if Hashtbl.mem visited w then
+            {
+              injected;
+              visits = List.rev ((w, t') :: visits);
+              outcome = Looped w;
+            }
+          else step w t' ((w, t') :: visits)
+  in
+  step start injected [ (start, injected) ]
+
+let trace_with inst sched ~record injected =
+  trace_from_with inst sched ~record (Instance.source inst) injected
+
+let trace inst sched injected =
+  trace_with inst sched ~record:(fun _ _ _ -> ()) injected
+
+let trace_from inst sched start time =
+  trace_from_with inst sched ~record:(fun _ _ _ -> ()) start time
+
+let rec last_visit = function
+  | [] -> assert false
+  | [ (w, t) ] -> (w, t)
+  | _ :: rest -> last_visit rest
+
+(* The violation time of a loop is the revisit time (the last entry of the
+   visit list is the repeated switch); a blackhole happens where and when
+   the cohort last arrived. *)
+let cohort_violation c =
+  match c.outcome with
+  | Delivered -> None
+  | Looped _ ->
+      let w, t = last_visit c.visits in
+      Some (Loop { switch = w; injected = c.injected; time = t })
+  | Dropped v ->
+      let _, t = last_visit c.visits in
+      Some (Blackhole { switch = v; injected = c.injected; time = t })
+
+(* Old-path prefix delays: time from the source to each switch along the
+   initial path. *)
+let prefix_delays inst =
+  let tbl = Hashtbl.create 32 in
+  let g = inst.Instance.graph in
+  let rec walk acc = function
+    | [] | [ _ ] -> ()
+    | u :: (v :: _ as rest) ->
+        if not (Hashtbl.mem tbl u) then Hashtbl.replace tbl u acc;
+        let acc = acc + Graph.delay g u v in
+        if not (Hashtbl.mem tbl v) then Hashtbl.replace tbl v acc;
+        walk acc rest
+  in
+  (match inst.Instance.p_init with
+  | [ only ] -> Hashtbl.replace tbl only 0
+  | p -> walk 0 p);
+  tbl
+
+(* Shared simulation core: returns the per-step entering loads, the flow
+   violations (loops, blackholes), the simulated injection window, and the
+   description of the *pure* cohorts — those provably passing every
+   scheduled switch before its flip. Pure cohorts follow the initial path
+   verbatim and contribute a closed-form steady load, so they need not be
+   simulated one by one; this keeps the oracle's cost proportional to the
+   transition window rather than to the network diameter. *)
+let simulate ?(exhaustive = false) inst sched =
+  let demand = inst.Instance.demand in
+  let loads : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let last_entry = ref min_int in
+  let record u v t =
+    let key = (u, v, t) in
+    let current = Option.value ~default:0 (Hashtbl.find_opt loads key) in
+    Hashtbl.replace loads key (current + demand);
+    if t > !last_entry then last_entry := t
+  in
+  let tmax = max 0 (Schedule.max_time sched) in
+  let tau_min = -Instance.init_delay inst in
+  let prefixes = prefix_delays inst in
+  (* A cohort injected at tau is pure iff tau + P_x < s_x for every
+     scheduled old-path switch x. *)
+  let tau_pure_max =
+    List.fold_left
+      (fun acc (x, s_x) ->
+        match Hashtbl.find_opt prefixes x with
+        | Some p -> min acc (s_x - p - 1)
+        | None -> acc)
+      max_int (Schedule.to_list sched)
+  in
+  let tau_start =
+    if tau_pure_max = max_int then tmax + 1
+    else max tau_min (tau_pure_max + 1)
+  in
+  (* Does the pure steady stream enter link (u, v) at step t? Exactly the
+     cohorts injected strictly before [tau_start] are accounted here; the
+     rest are simulated, so no cohort is counted twice. *)
+  let pure_entry u v t =
+    Instance.old_next inst u = Some v
+    &&
+    match Hashtbl.find_opt prefixes u with
+    | Some p -> t - p < tau_start
+    | None -> false
+  in
+  let flow_violations = ref [] in
+  let run tau =
+    let c = trace_with inst sched ~record tau in
+    match cohort_violation c with
+    | None -> ()
+    | Some v -> flow_violations := v :: !flow_violations
+  in
+  (* Symmetrically, a cohort that meets every scheduled switch at or after
+     its flip is *stable*: it follows the post-transition route (the final
+     path for a complete schedule, the mixed steady route of a partial
+     one), a time-shifted copy of every other stable cohort. One far-future
+     representative provides the route — and detects a defective steady
+     configuration — and the rest are accounted in closed form. *)
+  let rep_tau = tmax + 1 + Instance.init_delay inst + Instance.fin_delay inst in
+  let rep = trace_with inst sched ~record:(fun _ _ _ -> ()) rep_tau in
+  (match cohort_violation rep with
+  | None -> ()
+  | Some v -> flow_violations := v :: !flow_violations);
+  let stable_offsets = Hashtbl.create 32 in
+  let rec note_offsets = function
+    | [] | [ _ ] -> ()
+    | (u, t_u) :: (((v, _) :: _) as rest) ->
+        if not (Hashtbl.mem stable_offsets u) then
+          Hashtbl.replace stable_offsets u (t_u - rep_tau, v);
+        note_offsets rest
+  in
+  note_offsets rep.visits;
+  let tau_settled =
+    List.fold_left
+      (fun acc (x, s_x) ->
+        match Hashtbl.find_opt stable_offsets x with
+        | Some (offset, _) -> max acc (s_x - offset)
+        | None -> acc)
+      min_int (Schedule.to_list sched)
+  in
+  let stable_from = max tau_settled tau_start in
+  (* Does the stable stream enter link (u, v) at step t? Exactly the
+     cohorts injected at [stable_from] or later are accounted here. *)
+  let stable_entry u v t =
+    match Hashtbl.find_opt stable_offsets u with
+    | Some (offset, next) -> next = v && t - offset >= stable_from
+    | None -> false
+  in
+  if exhaustive then begin
+    (* Materialise everything: every cohort from the steady-state window
+       up to the point where transitional tails have passed, as consumers
+       of the full load table (the time-extended views) expect. *)
+    for tau = tau_min to stable_from - 1 do
+      run tau
+    done;
+    let fin = max stable_from !last_entry in
+    let tau = ref stable_from in
+    while !tau <= fin do
+      run !tau;
+      incr tau
+    done;
+    (loads, (fun _ _ _ -> 0), [], !flow_violations, (tau_min, fin))
+  end
+  else begin
+    (* Simulate only the transitional cohorts in between; the pure and
+       stable streams are accounted in closed form. *)
+    for tau = tau_start to stable_from - 1 do
+      run tau
+    done;
+    let extra_load u v t =
+      (if pure_entry u v t then demand else 0)
+      + if stable_entry u v t then demand else 0
+    in
+    (* The two closed-form streams can share a link over a window that no
+       simulated cohort touches: on every link of the stable route that is
+       also an old-path link, the stable head overlaps the pure tail for
+       the steps where both deliver. Materialise those keys so the
+       capacity scan sees them. *)
+    let clash_keys =
+      Hashtbl.fold
+        (fun u (offset, next) acc ->
+          if Instance.old_next inst u = Some next then
+            match Hashtbl.find_opt prefixes u with
+            | None -> acc
+            | Some p ->
+                let first = offset + stable_from in
+                let last = p + tau_start - 1 in
+                let rec span t acc =
+                  if t > last then acc else span (t + 1) ((u, next, t) :: acc)
+                in
+                span first acc
+          else acc)
+        stable_offsets []
+    in
+    (loads, extra_load, clash_keys, !flow_violations, (tau_start, stable_from))
+  end
+
+let evaluate inst sched =
+  let g = inst.Instance.graph in
+  let loads, extra_load, clash_keys, flow_violations, window =
+    simulate inst sched
+  in
+  List.iter
+    (fun (u, v, t) ->
+      if not (Hashtbl.mem loads (u, v, t)) then
+        Hashtbl.replace loads (u, v, t) 0)
+    clash_keys;
+  let congested = ref [] in
+  let peak = ref 0 in
+  let congestion_violations = ref [] in
+  Hashtbl.iter
+    (fun (u, v, t) load ->
+      let load = load + extra_load u v t in
+      if load > !peak then peak := load;
+      let capacity = Graph.capacity g u v in
+      if load > capacity then begin
+        congested := (u, v, t) :: !congested;
+        congestion_violations :=
+          Congestion { u; v; time = t; load; capacity }
+          :: !congestion_violations
+      end)
+    loads;
+  let violations =
+    List.sort_uniq compare (!congestion_violations @ flow_violations)
+  in
+  {
+    ok = violations = [];
+    violations;
+    congested = List.sort compare !congested;
+    peak_load = !peak;
+    window;
+  }
+
+let link_loads inst sched =
+  let loads, extra_load, _, _, _ = simulate ~exhaustive:true inst sched in
+  Hashtbl.fold
+    (fun ((u, v, t) as key) load acc -> (key, load + extra_load u v t) :: acc)
+    loads []
+  |> List.sort compare
+
+let is_consistent inst sched =
+  Schedule.covers inst sched && (evaluate inst sched).ok
+
+let congested_link_count inst sched =
+  List.length (evaluate inst sched).congested
+
+let pp_violation ppf = function
+  | Congestion { u; v; time; load; capacity } ->
+      Format.fprintf ppf "congestion on v%d -> v%d at t=%d (load %d > cap %d)"
+        u v time load capacity
+  | Loop { switch; injected; time } ->
+      Format.fprintf ppf
+        "loop through v%d at t=%d (cohort injected at t=%d)" switch time
+        injected
+  | Blackhole { switch; injected; time } ->
+      Format.fprintf ppf
+        "blackhole at v%d at t=%d (cohort injected at t=%d)" switch time
+        injected
+
+let pp_report ppf r =
+  if r.ok then Format.fprintf ppf "consistent (peak load %d)" r.peak_load
+  else
+    Format.fprintf ppf "@[<v>%d violation(s):@,%a@]"
+      (List.length r.violations)
+      (Format.pp_print_list pp_violation)
+      r.violations

@@ -1,0 +1,84 @@
+(** The dynamic-flow oracle: exact validation of a timed update schedule.
+
+    The oracle simulates the dynamic flow of the paper at cohort
+    granularity: one cohort of [demand] units is injected at the source at
+    every discrete time step, from far enough in the past that the initial
+    steady state is captured, to far enough in the future that every
+    transient interaction has played out. A cohort arriving at switch [v]
+    at time [t] is forwarded along [v]'s rule *active at time [t]* (old
+    next hop before the switch's scheduled update time, new next hop
+    after), contributing [demand] to the load of the chosen link at step
+    [t] and arriving at the other end [sigma] steps later.
+
+    A schedule is consistent iff no step overloads a link (Definition 3),
+    no cohort revisits a switch (Definition 2), and no cohort is dropped at
+    a switch without an applicable rule (our blackhole extension, relevant
+    when a path-only switch's rule is added late or deleted early).
+
+    Partial schedules are meaningful: unscheduled switches simply keep
+    their old rule forever, which is exactly the prefix semantics the
+    greedy scheduler needs. *)
+
+open Chronus_graph
+
+type outcome =
+  | Delivered  (** reached the destination *)
+  | Looped of Graph.node  (** revisited this switch: transient loop *)
+  | Dropped of Graph.node  (** no applicable rule at this switch *)
+
+type cohort = {
+  injected : int;  (** injection time step *)
+  visits : (Graph.node * int) list;  (** arrival times, source first *)
+  outcome : outcome;
+}
+
+type violation =
+  | Congestion of {
+      u : Graph.node;
+      v : Graph.node;
+      time : int;  (** step at which the aggregate entering load exceeds *)
+      load : int;
+      capacity : int;
+    }
+  | Loop of { switch : Graph.node; injected : int; time : int }
+  | Blackhole of { switch : Graph.node; injected : int; time : int }
+
+type report = {
+  ok : bool;
+  violations : violation list;  (** sorted, deduplicated *)
+  congested : (Graph.node * Graph.node * int) list;
+      (** distinct overloaded time-extended links [(u, v, entry step)] —
+          the quantity plotted in Fig. 8 *)
+  peak_load : int;  (** maximum load observed on any link at any step *)
+  window : int * int;  (** simulated injection window (inclusive) *)
+}
+
+val rule_at : Instance.t -> Schedule.t -> Graph.node -> int -> Graph.node option
+(** Forwarding rule of a switch at a time step under a schedule. *)
+
+val trace : Instance.t -> Schedule.t -> int -> cohort
+(** Follow the cohort injected at the given step through the network. *)
+
+val trace_from : Instance.t -> Schedule.t -> Graph.node -> int -> cohort
+(** [trace_from inst sched v t] follows a cohort already at switch [v] at
+    step [t] (its [injected] field is set to [t]). Used by the loop check
+    of Algorithm 4 to examine the first redirected cohort. *)
+
+val evaluate : Instance.t -> Schedule.t -> report
+(** Full validation of a (possibly partial) schedule. *)
+
+val is_consistent : Instance.t -> Schedule.t -> bool
+(** [true] iff the schedule covers every required switch and [evaluate]
+    reports no violation. *)
+
+val congested_link_count : Instance.t -> Schedule.t -> int
+(** Number of distinct overloaded time-extended links (Fig. 8 metric). *)
+
+val link_loads :
+  Instance.t -> Schedule.t -> ((Graph.node * Graph.node * int) * int) list
+(** Every [(u, v, entry step)] on which flow enters a link, with the total
+    load entering at that step; sorted. This is the occupancy of the
+    time-extended network of Definition 4. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

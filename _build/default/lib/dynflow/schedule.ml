@@ -1,0 +1,62 @@
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty = Imap.empty
+
+let add v time s =
+  if time < 0 then invalid_arg "Schedule.add: negative time";
+  if Imap.mem v s then
+    invalid_arg (Printf.sprintf "Schedule.add: v%d already scheduled" v);
+  Imap.add v time s
+
+let of_list l = List.fold_left (fun s (v, t) -> add v t s) empty l
+
+let to_list s =
+  Imap.bindings s
+  |> List.sort (fun (v1, t1) (v2, t2) -> compare (t1, v1) (t2, v2))
+
+let mem v s = Imap.mem v s
+
+let find v s = Imap.find_opt v s
+
+let size s = Imap.cardinal s
+
+let is_empty s = Imap.is_empty s
+
+let switches s = List.map fst (Imap.bindings s)
+
+let max_time s = Imap.fold (fun _ t acc -> max t acc) s (-1)
+
+let makespan s = max_time s + 1
+
+let distinct_times s =
+  Imap.fold (fun _ t acc -> t :: acc) s []
+  |> List.sort_uniq compare
+
+let at time s =
+  Imap.fold (fun v t acc -> if t = time then v :: acc else acc) s []
+  |> List.sort compare
+
+let covers instance s =
+  List.for_all (fun v -> mem v s) (Instance.switches_to_update instance)
+
+let restrict_to instance s =
+  let keep = Instance.switches_to_update instance in
+  Imap.filter (fun v _ -> List.mem v keep) s
+
+let shift delta s =
+  Imap.map
+    (fun t ->
+      let t' = t + delta in
+      if t' < 0 then invalid_arg "Schedule.shift: negative time" else t')
+    s
+
+let equal = Imap.equal Int.equal
+
+let pp ppf s =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (v, t) -> Format.fprintf ppf "v%d@@t%d" v t))
+    (to_list s)

@@ -1,0 +1,84 @@
+open Chronus_graph
+
+type t = { base : Graph.t; t_lo : int; t_hi : int; net : Graph.t }
+
+let span te = te.t_hi - te.t_lo + 1
+
+let encode te v time =
+  if time < te.t_lo || time > te.t_hi then
+    invalid_arg
+      (Printf.sprintf "Time_extended.encode: t=%d outside [%d, %d]" time
+         te.t_lo te.t_hi);
+  (v * span te) + (time - te.t_lo)
+
+let decode te id = (id / span te, (id mod span te) + te.t_lo)
+
+let build base ~t_lo ~t_hi =
+  if t_lo > t_hi then invalid_arg "Time_extended.build: empty window";
+  let te = { base; t_lo; t_hi; net = Graph.create () } in
+  List.iter
+    (fun v ->
+      for time = t_lo to t_hi do
+        Graph.add_node te.net (encode te v time)
+      done)
+    (Graph.nodes base);
+  List.iter
+    (fun (u, v, (e : Graph.edge)) ->
+      for time = t_lo to t_hi - e.delay do
+        Graph.add_edge ~capacity:e.capacity ~delay:e.delay te.net
+          (encode te u time)
+          (encode te v (time + e.delay))
+      done)
+    (Graph.edges base);
+  te
+
+let of_instance ?(margin = 1) inst sched =
+  let loads = Oracle.link_loads inst sched in
+  let g = inst.Instance.graph in
+  let t_lo, t_hi =
+    List.fold_left
+      (fun (lo, hi) ((u, v, time), _) ->
+        (min lo time, max hi (time + Graph.delay g u v)))
+      (0, max 1 (Schedule.max_time sched))
+      loads
+  in
+  build g ~t_lo:(t_lo - margin) ~t_hi:(t_hi + margin)
+
+let graph te = te.net
+let base te = te.base
+let window te = (te.t_lo, te.t_hi)
+
+let mem te v time =
+  time >= te.t_lo && time <= te.t_hi && Graph.mem_node te.base v
+
+let flow_links te inst sched =
+  let g = inst.Instance.graph in
+  List.filter_map
+    (fun ((u, v, time), load) ->
+      let arrival = time + Graph.delay g u v in
+      if mem te u time && mem te v arrival then
+        Some ((u, time), (v, arrival), load)
+      else None)
+    (Oracle.link_loads inst sched)
+
+let to_dot ?(highlight = []) te =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph time_extended {\n  rankdir=LR;\n";
+  List.iter
+    (fun v ->
+      for time = te.t_lo to te.t_hi do
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"v%d(t%d)\"];\n" (encode te v time) v
+             time)
+      done)
+    (Graph.nodes te.base);
+  List.iter
+    (fun (a, b, _) ->
+      let u, tu = decode te a and v, tv = decode te b in
+      let hot = List.mem ((u, tu), (v, tv)) highlight in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [color=%s];\n" a b
+           (if hot then "red" else "gray")))
+    (Graph.edges te.net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** The time-extended network [G_T] of Definition 4: one copy [v(t)] of
+    every switch per time step, and a link [u(t) -> v(t + sigma(u,v))] of
+    capacity [C(u,v)] for every network link. History steps (negative
+    times) let the algorithms reason about traffic that is already in
+    flight, exactly as in Fig. 2 of the paper. *)
+
+open Chronus_graph
+
+type t
+
+val build : Graph.t -> t_lo:int -> t_hi:int -> t
+(** Time-extended copy of a graph over the inclusive step window
+    [[t_lo, t_hi]]. Links whose arrival step would fall outside the window
+    are omitted. @raise Invalid_argument if [t_lo > t_hi]. *)
+
+val of_instance : ?margin:int -> Instance.t -> Schedule.t -> t
+(** Window chosen from the oracle's simulation of the schedule: every step
+    on which flow enters some link is covered, plus [margin] extra steps at
+    each end (default 1). *)
+
+val graph : t -> Graph.t
+(** The underlying expanded graph; nodes are encoded, see {!encode}. *)
+
+val base : t -> Graph.t
+val window : t -> int * int
+val span : t -> int
+(** Number of time steps in the window. *)
+
+val encode : t -> Graph.node -> int -> Graph.node
+(** [encode te v t] is the expanded-graph id of [v(t)].
+    @raise Invalid_argument if [t] is outside the window. *)
+
+val decode : t -> Graph.node -> Graph.node * int
+(** Inverse of {!encode}. *)
+
+val mem : t -> Graph.node -> int -> bool
+(** Is [v(t)] a node of the expanded graph? *)
+
+val flow_links :
+  t -> Instance.t -> Schedule.t ->
+  ((Graph.node * int) * (Graph.node * int) * int) list
+(** The time-extended links actually carrying flow under a schedule, as
+    [((u, t), (v, t + sigma), load)] triples — the red links of Fig. 2.
+    Links outside the window are dropped. *)
+
+val to_dot : ?highlight:((Graph.node * int) * (Graph.node * int)) list ->
+  t -> string
+(** DOT rendering with switches as rows and time steps as columns. *)

@@ -1,0 +1,1 @@
+lib/exec/exec_env.ml: Chronus_flow Chronus_graph Chronus_sim Chronus_topo Controller Engine Flow_table Graph Instance List Monitor Network Rng Sim_time

@@ -1,0 +1,1 @@
+lib/exec/exec_env.mli: Chronus_flow Chronus_sim Chronus_topo Controller Instance Monitor Network Sim_time

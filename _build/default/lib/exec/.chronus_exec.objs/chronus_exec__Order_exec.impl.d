@@ -1,0 +1,1 @@
+lib/exec/order_exec.ml: Chronus_baselines Chronus_flow Chronus_graph Chronus_sim Controller Engine Exec_env Graph Instance List Network Order_replacement Sim_time

@@ -1,0 +1,1 @@
+lib/exec/order_exec.mli: Chronus_flow Chronus_graph Exec_env Graph

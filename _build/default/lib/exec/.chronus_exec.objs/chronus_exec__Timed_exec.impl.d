@@ -1,0 +1,1 @@
+lib/exec/timed_exec.ml: Chronus_core Chronus_flow Chronus_sim Controller Engine Exec_env Fallback Instance List Network Schedule Sim_time

@@ -1,0 +1,1 @@
+lib/exec/timed_exec.mli: Chronus_core Chronus_flow Exec_env Instance Schedule

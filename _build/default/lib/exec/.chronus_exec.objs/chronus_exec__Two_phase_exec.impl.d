@@ -1,0 +1,1 @@
+lib/exec/two_phase_exec.ml: Chronus_flow Chronus_sim Controller Engine Exec_env Flow_table Instance List Network Sim_time

@@ -1,0 +1,1 @@
+lib/exec/two_phase_exec.mli: Chronus_flow Chronus_sim Exec_env Sim_time

@@ -1,0 +1,64 @@
+(** Shared harness for executing one update instance on the simulator:
+    build the network from the instance's graph, install the initial
+    forwarding rules, start the flow, and collect the measurements all
+    three executors report. *)
+
+open Chronus_sim
+open Chronus_flow
+
+type config = {
+  capacity_mbps : float;  (** per-link capacity (paper: 5 Mbit/s) *)
+  rate_mbps : float;  (** aggregate flow rate (paper: 5 Mbit/s) *)
+  delay_unit : Sim_time.t;
+      (** real time of one model delay unit; a link of model delay [k]
+          propagates in [k * delay_unit] (paper: 5 ms – 1 s) *)
+  chunk : Sim_time.t;  (** traffic granularity *)
+  warmup : Sim_time.t;  (** steady old-path traffic before the update *)
+  drain : Sim_time.t;  (** extra run time after the update completes *)
+  control_latency : Sim_time.t * Sim_time.t;
+      (** uniform range of the per-command control-channel delay *)
+  sample : Sim_time.t;  (** bandwidth sampling interval (paper: 1 s) *)
+}
+
+val default : config
+(** The Mininet setup of Section V-A: 5 Mbit/s links and flow, 50 ms delay
+    unit, 1 s samples, 2–40 ms control latency. *)
+
+type env = {
+  net : Network.t;
+  controller : Controller.t;
+  monitor : Monitor.t;
+  rng : Chronus_topo.Rng.t;
+  config : config;
+  inst : Instance.t;
+}
+
+val build : ?config:config -> ?seed:int -> tag_initial:int option ->
+  Instance.t -> env
+(** Network with the instance's links, initial rules along [p_init]
+    (matching [Tag v] and stamped at the ingress when [tag_initial] is
+    [Some v] — the two-phase variant), a delivery rule at the destination,
+    and the flow source scheduled from time 0 (the monitor starts with the
+    engine). *)
+
+type result = {
+  series : ((int * int) * Monitor.sample list) list;
+      (** bandwidth series per link *)
+  busiest : (int * int) option;
+  peak_mbps : float;
+  congested_samples : int;  (** samples above link capacity *)
+  peak_rules : int;
+  loss_bytes : int;  (** blackholed + looped traffic *)
+  update_span : Sim_time.t;  (** first command to last barrier reply *)
+  commands : int;
+}
+
+val finish : env -> update_done:Sim_time.t -> result
+(** Run the engine until the update is done plus the drain period, then
+    collect measurements. *)
+
+val update_start : env -> Sim_time.t
+(** The instant the update procedure should begin ([warmup]). *)
+
+val modify_of_update : Instance.t -> Instance.update -> Controller.flow_mod
+(** The untagged flow-mod realising one Chronus/OR update step. *)

@@ -1,0 +1,50 @@
+open Chronus_sim
+open Chronus_graph
+open Chronus_flow
+open Chronus_baselines
+
+type t = {
+  result : Exec_env.result;
+  rounds : Graph.node list list;
+  optimal_rounds : bool;
+}
+
+let run ?config ?seed ?budget inst =
+  let exact = Order_replacement.minimum_rounds ?budget inst in
+  let rounds, optimal_rounds =
+    match exact.Order_replacement.rounds with
+    | Some r -> (r, exact.Order_replacement.optimal)
+    | None -> (
+        match Order_replacement.greedy_rounds inst with
+        | Some r -> (r, false)
+        | None -> ([ Order_replacement.replaceable_switches inst ], false))
+  in
+  let env = Exec_env.build ?config ?seed ~tag_initial:None inst in
+  let engine = Network.engine env.Exec_env.net in
+  let t0 = Exec_env.update_start env in
+  let finished = ref None in
+  let updates = Instance.updates inst in
+  let mod_for v =
+    let u = List.find (fun u -> u.Instance.switch = v) updates in
+    Exec_env.modify_of_update inst u
+  in
+  let rec do_round = function
+    | [] -> finished := Some (Engine.now engine)
+    | round :: rest ->
+        List.iter
+          (fun v ->
+            Controller.send env.Exec_env.controller ~switch:v (mod_for v))
+          round;
+        Controller.barrier_all env.Exec_env.controller ~switches:round
+          (fun at -> Engine.at engine at (fun () -> do_round rest))
+  in
+  Engine.at engine t0 (fun () -> do_round rounds);
+  let horizon =
+    t0 + (List.length rounds + 2) * Sim_time.sec 1 + Sim_time.sec 5
+  in
+  Engine.run ~until:horizon engine;
+  let update_done =
+    match !finished with Some at -> at | None -> horizon
+  in
+  let result = Exec_env.finish env ~update_done in
+  { result; rounds; optimal_rounds }

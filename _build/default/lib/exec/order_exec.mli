@@ -1,0 +1,22 @@
+(** Executing the OR baseline on the simulator: round after round of
+    plain (untimed) flow-mods. Within a round each command experiences its
+    own random control-channel latency, so the switches apply the new
+    rules out of order — the asynchrony whose congestion Figs. 6–8
+    measure. A round's barrier replies gate the next round. *)
+
+open Chronus_graph
+
+type t = {
+  result : Exec_env.result;
+  rounds : Graph.node list list;
+  optimal_rounds : bool;
+}
+
+val run :
+  ?config:Exec_env.config ->
+  ?seed:int ->
+  ?budget:int ->
+  Chronus_flow.Instance.t ->
+  t
+(** [budget] bounds the exact minimum-round search; on exhaustion the
+    greedy rounds run instead. *)

@@ -1,0 +1,40 @@
+open Chronus_sim
+open Chronus_flow
+open Chronus_core
+
+type t = { result : Exec_env.result; schedule : Schedule.t; clean : bool }
+
+let run ?config ?seed ?mode inst =
+  let { Fallback.schedule; clean } = Fallback.schedule ?mode inst in
+  let env = Exec_env.build ?config ?seed ~tag_initial:None inst in
+  let engine = Network.engine env.Exec_env.net in
+  let cfg = env.Exec_env.config in
+  let t0 = Exec_env.update_start env in
+  let dispatch = max 0 (t0 - Sim_time.msec 500) in
+  let finished = ref None in
+  Engine.at engine dispatch (fun () ->
+      let updates = Instance.updates inst in
+      List.iter
+        (fun (u : Instance.update) ->
+          match Schedule.find u.Instance.switch schedule with
+          | None -> ()
+          | Some step ->
+              Controller.send env.Exec_env.controller
+                ~execute_at:(t0 + (step * cfg.Exec_env.delay_unit))
+                ~switch:u.Instance.switch
+                (Exec_env.modify_of_update inst u))
+        updates;
+      Controller.barrier_all env.Exec_env.controller
+        ~switches:(Schedule.switches schedule)
+        (fun at -> finished := Some at));
+  let horizon =
+    t0
+    + (Schedule.makespan schedule * cfg.Exec_env.delay_unit)
+    + Sim_time.sec 5
+  in
+  Engine.run ~until:horizon engine;
+  let update_done =
+    match !finished with Some at -> at | None -> horizon
+  in
+  let result = Exec_env.finish env ~update_done in
+  { result; schedule; clean }

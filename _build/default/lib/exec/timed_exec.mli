@@ -1,0 +1,22 @@
+(** Executing a Chronus timed update on the simulator — Algorithm 5.
+
+    The schedule computed by the greedy algorithm (with the best-effort
+    fallback for infeasible instances) is translated into timed flow-mods:
+    one command per switch carrying the execution timestamp
+    [t0 + step * delay_unit]. Commands are dispatched ahead of time,
+    barriers confirm the installation, and the flow is measured throughout. *)
+
+open Chronus_flow
+
+type t = {
+  result : Exec_env.result;
+  schedule : Schedule.t;
+  clean : bool;  (** the greedy found a provably consistent schedule *)
+}
+
+val run :
+  ?config:Exec_env.config ->
+  ?seed:int ->
+  ?mode:Chronus_core.Greedy.mode ->
+  Instance.t ->
+  t

@@ -1,0 +1,105 @@
+open Chronus_sim
+open Chronus_flow
+
+type t = {
+  result : Exec_env.result;
+  phase1_done : Sim_time.t;
+  phase2_done : Sim_time.t;
+  rules_installed : int;
+}
+
+let old_tag = 1
+let new_tag = 2
+
+let run ?config ?seed inst =
+  let env = Exec_env.build ?config ?seed ~tag_initial:(Some old_tag) inst in
+  let engine = Network.engine env.Exec_env.net in
+  let cfg = env.Exec_env.config in
+  let controller = env.Exec_env.controller in
+  let t0 = Exec_env.update_start env in
+  let dst = Instance.destination inst in
+  let src = Instance.source inst in
+  let phase1_done = ref 0 and phase2_done = ref 0 in
+  let finished = ref None in
+  let fin_transit =
+    List.filter (fun v -> v <> dst) inst.Instance.p_fin
+  in
+  let rules_installed = ref 0 in
+  Engine.at engine t0 (fun () ->
+      (* Phase one: version-2 rules, traffic still stamped with tag 1. *)
+      List.iter
+        (fun v ->
+          match Instance.new_next inst v with
+          | None -> ()
+          | Some w ->
+              incr rules_installed;
+              Controller.send controller ~switch:v
+                (Controller.Install
+                   {
+                     priority = 20;
+                     dst;
+                     tag_match = Flow_table.Tag new_tag;
+                     action =
+                       { Flow_table.set_tag = None; forward = Flow_table.Out w };
+                   }))
+        fin_transit;
+      Controller.barrier_all controller ~switches:fin_transit (fun at ->
+          phase1_done := at;
+          Engine.at engine at (fun () ->
+              (* Phase two: flip the ingress stamp; every packet from now
+                 on carries tag 2 and follows the new rules. *)
+              let new_hop =
+                match Instance.new_next inst src with
+                | Some w -> w
+                | None -> assert false
+              in
+              Controller.send controller ~switch:src
+                (Controller.Modify
+                   {
+                     dst;
+                     tag_match = Flow_table.Any_tag;
+                     action =
+                       {
+                         Flow_table.set_tag = Some new_tag;
+                         forward = Flow_table.Out new_hop;
+                       };
+                   });
+              Controller.barrier controller ~switch:src (fun at ->
+                  phase2_done := at;
+                  (* Old-tag packets drain within the old path's total
+                     propagation time; then garbage-collect tag-1 rules. *)
+                  let drain_time =
+                    Instance.init_delay inst * cfg.Exec_env.delay_unit
+                    + Sim_time.msec 200
+                  in
+                  Engine.at engine (at + drain_time) (fun () ->
+                      let old_transit =
+                        List.filter
+                          (fun v -> v <> dst && v <> src)
+                          inst.Instance.p_init
+                      in
+                      List.iter
+                        (fun v ->
+                          Controller.send controller ~switch:v
+                            (Controller.Remove
+                               { dst; tag_match = Flow_table.Tag old_tag }))
+                        old_transit;
+                      Controller.barrier_all controller ~switches:old_transit
+                        (fun at -> finished := Some at))))))
+  ;
+  let horizon =
+    t0
+    + (Instance.init_delay inst * cfg.Exec_env.delay_unit)
+    + Sim_time.sec 8
+  in
+  Engine.run ~until:horizon engine;
+  let update_done =
+    match !finished with Some at -> at | None -> horizon
+  in
+  let result = Exec_env.finish env ~update_done in
+  {
+    result;
+    phase1_done = !phase1_done;
+    phase2_done = !phase2_done;
+    rules_installed = !rules_installed;
+  }

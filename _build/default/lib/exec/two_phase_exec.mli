@@ -1,0 +1,17 @@
+(** Executing the TP baseline on the simulator: the two-phase commit with
+    LAN-ID versioning described in Section V-A. Initial rules match tag 1
+    and the ingress stamps tag 1; phase one installs tag-2 rules along the
+    final path, phase two flips the ingress stamp, and the tag-1 rules are
+    garbage-collected once old-tag traffic has drained. The rule-table
+    peak during the transition is the Fig. 9 cost. *)
+
+open Chronus_sim
+type t = {
+  result : Exec_env.result;
+  phase1_done : Sim_time.t;
+  phase2_done : Sim_time.t;
+  rules_installed : int;  (** tag-2 rules added in phase one *)
+}
+
+val run :
+  ?config:Exec_env.config -> ?seed:int -> Chronus_flow.Instance.t -> t

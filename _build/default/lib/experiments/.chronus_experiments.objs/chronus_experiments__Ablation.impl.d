@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Chronus_core Chronus_flow Chronus_stats Chronus_topo Greedy List Printf Rng Scale Scenario Schedule Table

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Chronus_baselines Chronus_core Chronus_flow Chronus_stats Chronus_topo Greedy Instance List Opt Order_replacement Printf Rng Scale Scenario Sys Table

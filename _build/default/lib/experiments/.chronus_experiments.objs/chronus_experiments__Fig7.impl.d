@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Chronus_stats Chronus_topo List Printf Rng Scale Scenario Table Trial

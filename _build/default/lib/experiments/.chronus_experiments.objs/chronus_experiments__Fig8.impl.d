@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Chronus_stats Chronus_topo List Printf Rng Scale Scenario Table Trial

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Boxplot Chronus_baselines Chronus_stats Chronus_topo Descriptive Format List Printf Rng Scale Scenario Table

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Chronus_exec Chronus_flow Chronus_graph Chronus_sim Exec_env Flow_table Format Graph Instance List Network Path

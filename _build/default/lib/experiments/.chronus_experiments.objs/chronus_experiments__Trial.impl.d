@@ -1,0 +1,1 @@
+lib/experiments/trial.ml: Chronus_baselines Chronus_core Chronus_flow Chronus_topo Fallback Greedy Instance List Opt Oracle Order_replacement Rng Scale Schedule Two_phase

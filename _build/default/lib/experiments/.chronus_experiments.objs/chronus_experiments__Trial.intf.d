@@ -1,0 +1,1 @@
+lib/experiments/trial.mli: Chronus_flow Chronus_topo Instance Rng Scale

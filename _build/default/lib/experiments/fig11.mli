@@ -1,0 +1,17 @@
+(** Fig. 11: CDF of the update time (the makespan [|T|], in time units)
+    at 40 switches, Chronus vs OPT. *)
+
+open Chronus_stats
+
+type result = {
+  switches : int;
+  instances : int;
+  chronus : Cdf.t;
+  opt : Cdf.t;
+  chronus_median : float;
+  opt_median : float;
+}
+
+val run : ?scale:Scale.t -> ?switches:int -> unit -> result
+val print : result -> unit
+val name : string

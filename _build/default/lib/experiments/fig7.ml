@@ -1,0 +1,55 @@
+open Chronus_topo
+
+type row = {
+  switches : int;
+  instances : int;
+  chronus_congestion_pct : float;
+  opt_congestion_pct : float;
+  or_congestion_pct : float;
+}
+
+let name = "fig7-congestion-cases"
+
+let pct bad total = 100. *. float_of_int bad /. float_of_int (max 1 total)
+
+let run ?(scale = Scale.quick) () =
+  let rng = Rng.make scale.Scale.seed in
+  List.map
+    (fun n ->
+      let spec = Scenario.spec n in
+      let chron = ref 0 and opt = ref 0 and ord = ref 0 in
+      for _ = 1 to scale.Scale.instances do
+        let inst = Scenario.random_final ~rng spec in
+        let t = Trial.run ~scale ~rng inst in
+        if not t.Trial.chronus_clean then incr chron;
+        if not t.Trial.opt_clean then incr opt;
+        if not t.Trial.or_clean then incr ord
+      done;
+      {
+        switches = n;
+        instances = scale.Scale.instances;
+        chronus_congestion_pct = pct !chron scale.Scale.instances;
+        opt_congestion_pct = pct !opt scale.Scale.instances;
+        or_congestion_pct = pct !ord scale.Scale.instances;
+      })
+    scale.Scale.switch_counts
+
+let print rows =
+  let open Chronus_stats in
+  let table =
+    Table.create
+      ~headers:[ "switches"; "instances"; "Chronus %"; "OPT %"; "OR %" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.switches;
+          string_of_int r.instances;
+          Printf.sprintf "%.1f" r.chronus_congestion_pct;
+          Printf.sprintf "%.1f" r.opt_congestion_pct;
+          Printf.sprintf "%.1f" r.or_congestion_pct;
+        ])
+    rows;
+  print_endline "# Fig. 7 — percentage of congestion cases (lower is better)";
+  Table.print table

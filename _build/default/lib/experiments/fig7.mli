@@ -1,0 +1,17 @@
+(** Fig. 7: percentage of congestion cases vs number of switches, for
+    Chronus, OPT and OR. A case is congested when the executed schedule
+    overloads at least one time-extended link (or, for OR, also when it
+    loops or blackholes in-flight traffic — OR ignores transmission
+    delays entirely). *)
+
+type row = {
+  switches : int;
+  instances : int;
+  chronus_congestion_pct : float;
+  opt_congestion_pct : float;
+  or_congestion_pct : float;
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+val print : row list -> unit
+val name : string

@@ -1,0 +1,14 @@
+(** Fig. 8: number of congested links (counted in the time-extended
+    network, summed over all instances of a data point), Chronus vs OR. *)
+
+type row = {
+  switches : int;
+  instances : int;
+  chronus_congested : int;
+  or_congested : int;
+  reduction_pct : float;  (** how many congested links Chronus avoids *)
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+val print : row list -> unit
+val name : string

@@ -1,0 +1,61 @@
+open Chronus_topo
+open Chronus_stats
+
+type row = {
+  switches : int;
+  chronus : Boxplot.t;
+  chronus_mean : float;
+  tp_mean : float;
+  saving_pct : float;
+}
+
+let name = "fig9-forwarding-rules"
+
+let run ?(scale = Scale.quick) () =
+  let rng = Rng.make (scale.Scale.seed + 2) in
+  List.map
+    (fun n ->
+      let spec = Scenario.spec n in
+      let chronus_samples = ref [] and tp_samples = ref [] in
+      for _ = 1 to scale.Scale.instances do
+        let inst = Scenario.random_pair ~rng spec in
+        chronus_samples :=
+          Chronus_baselines.Two_phase.chronus_rule_count inst
+          :: !chronus_samples;
+        tp_samples :=
+          (Chronus_baselines.Two_phase.rule_count inst)
+            .Chronus_baselines.Two_phase.transition_peak
+          :: !tp_samples
+      done;
+      let chronus_mean =
+        Descriptive.mean (Descriptive.of_ints !chronus_samples)
+      in
+      let tp_mean = Descriptive.mean (Descriptive.of_ints !tp_samples) in
+      {
+        switches = n;
+        chronus = Boxplot.of_int_samples !chronus_samples;
+        chronus_mean;
+        tp_mean;
+        saving_pct = 100. *. (tp_mean -. chronus_mean) /. tp_mean;
+      })
+    scale.Scale.switch_counts
+
+let print rows =
+  let table =
+    Table.create
+      ~headers:
+        [ "switches"; "Chronus box"; "Chronus mean"; "TP mean"; "saving %" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.switches;
+          Format.asprintf "%a" Boxplot.pp r.chronus;
+          Printf.sprintf "%.1f" r.chronus_mean;
+          Printf.sprintf "%.1f" r.tp_mean;
+          Printf.sprintf "%.1f" r.saving_pct;
+        ])
+    rows;
+  print_endline "# Fig. 9 — forwarding rules during the transition";
+  Table.print table

@@ -1,0 +1,17 @@
+(** Fig. 9: number of forwarding rules needed during the transition —
+    Chronus as a box plot (it only rewrites actions in place), TP as the
+    mean of its doubled, versioned footprint. *)
+
+open Chronus_stats
+
+type row = {
+  switches : int;
+  chronus : Boxplot.t;
+  chronus_mean : float;
+  tp_mean : float;
+  saving_pct : float;  (** mean rules Chronus saves over TP *)
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+val print : row list -> unit
+val name : string

@@ -1,0 +1,39 @@
+type t = {
+  instances : int;
+  switch_counts : int list;
+  big_switch_counts : int list;
+  opt_budget : int;
+  opt_timeout : float;
+  or_budget : int;
+  baseline_cap : float;
+  seed : int;
+}
+
+let quick =
+  {
+    instances = 10;
+    switch_counts = [ 10; 20; 30; 40; 50; 60 ];
+    big_switch_counts = [ 1_000; 2_000; 3_000 ];
+    opt_budget = 1_500;
+    opt_timeout = 0.25;
+    or_budget = 5_000;
+    baseline_cap = 2.0;
+    seed = 42;
+  }
+
+let paper =
+  {
+    instances = 500;
+    switch_counts = [ 10; 20; 30; 40; 50; 60 ];
+    big_switch_counts = [ 1_000; 2_000; 3_000; 4_000; 5_000; 6_000 ];
+    opt_budget = 2_000_000;
+    opt_timeout = 60.0;
+    or_budget = 2_000_000;
+    baseline_cap = 60.0;
+    seed = 42;
+  }
+
+let parse = function
+  | "quick" -> quick
+  | "paper" -> paper
+  | other -> invalid_arg (Printf.sprintf "Scale.parse: unknown preset %S" other)

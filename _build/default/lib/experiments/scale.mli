@@ -1,0 +1,22 @@
+(** Experiment scale presets. The paper averages over at least 30 runs of
+    500 update instances on an i5-2400; [quick] keeps `dune runtest` and
+    the benchmark executable fast, [paper] approaches the published scale
+    (minutes of compute), and every field can be overridden. *)
+
+type t = {
+  instances : int;  (** update instances per data point (Figs. 7–9, 11) *)
+  switch_counts : int list;  (** the x-axis of Figs. 7–9 *)
+  big_switch_counts : int list;  (** the x-axis of Fig. 10 *)
+  opt_budget : int;  (** search-node budget per OPT call *)
+  opt_timeout : float;  (** seconds per OPT call *)
+  or_budget : int;  (** search-node budget per exact OR call *)
+  baseline_cap : float;  (** Fig. 10 cut-off in seconds (paper: 60) *)
+  seed : int;
+}
+
+val quick : t
+val paper : t
+
+val parse : string -> t
+(** ["quick"] or ["paper"].
+    @raise Invalid_argument otherwise. *)

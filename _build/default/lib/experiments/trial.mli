@@ -1,0 +1,32 @@
+(** One update instance run through every scheme — the shared measurement
+    underlying Figs. 7, 8, 9 and 11. Everything is evaluated against the
+    dynamic-flow oracle, i.e. in the time-extended network. *)
+
+open Chronus_flow
+open Chronus_topo
+
+type t = {
+  inst : Instance.t;
+  updates : int;
+  (* Chronus *)
+  chronus_clean : bool;  (** greedy found a consistent schedule *)
+  chronus_congested_links : int;
+      (** overloaded time-extended links of the executed (fallback when
+          necessary) schedule *)
+  chronus_makespan : int;
+  chronus_rules : int;
+  (* OPT *)
+  opt_clean : bool;
+  opt_makespan : int option;
+  opt_proved : bool;  (** the solver proved optimality within budget *)
+  (* OR *)
+  or_rounds : int;
+  or_clean : bool;
+  or_congested_links : int;
+  (* TP *)
+  tp_rules : int;  (** transition-peak rule footprint *)
+}
+
+val run : ?with_opt:bool -> scale:Scale.t -> rng:Rng.t -> Instance.t -> t
+(** [with_opt] (default true) controls whether the exact solver runs —
+    it dominates the cost of a trial. *)

@@ -1,0 +1,1 @@
+lib/graph/cycle.ml: Graph Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/graph/path.ml: Format Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/shortest.ml: Array Graph Hashtbl List Queue

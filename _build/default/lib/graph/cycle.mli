@@ -1,0 +1,15 @@
+(** Cycle detection and topological ordering.
+
+    Loop-freedom checks — both the per-round safety condition of the
+    order-replacement baseline and several test oracles — reduce to cycle
+    detection on forwarding graphs. *)
+
+val find_cycle : Graph.t -> Graph.node list option
+(** [find_cycle g] is [Some [v1; ...; vk]] such that [v1 -> ... -> vk -> v1]
+    are edges of [g], or [None] if [g] is acyclic. Deterministic. *)
+
+val has_cycle : Graph.t -> bool
+
+val topological_sort : Graph.t -> Graph.node list option
+(** Kahn's algorithm. [None] when the graph is cyclic; ties broken by
+    increasing node id, so the result is deterministic. *)

@@ -1,0 +1,28 @@
+let to_dot ?(name = "chronus") ?(initial_path = []) ?(final_path = []) g =
+  let buf = Buffer.create 1024 in
+  let init_edges = Path.edges initial_path in
+  let fin_edges = Path.edges final_path in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=LR;\n";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  v%d [label=\"v%d\"];\n" v v))
+    (Graph.nodes g);
+  List.iter
+    (fun (u, v, (e : Graph.edge)) ->
+      let style =
+        if List.mem (u, v) init_edges then "color=red, style=solid"
+        else if List.mem (u, v) fin_edges then "color=red, style=dashed"
+        else "color=black, style=solid"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -> v%d [%s, label=\"C=%d,s=%d\"];\n" u v style
+           e.capacity e.delay))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?name ?initial_path ?final_path path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?initial_path ?final_path g))

@@ -1,0 +1,21 @@
+(** Graphviz DOT export, with optional highlighting of the initial (solid)
+    and final (dashed) routing paths, mirroring Fig. 1 of the paper. *)
+
+val to_dot :
+  ?name:string ->
+  ?initial_path:Path.t ->
+  ?final_path:Path.t ->
+  Graph.t ->
+  string
+(** [to_dot g] renders [g] as a DOT digraph. Edges on [initial_path] are
+    drawn solid red, edges on [final_path] dashed red, others solid black.
+    Every edge is labelled with its capacity and delay. *)
+
+val write_file :
+  ?name:string ->
+  ?initial_path:Path.t ->
+  ?final_path:Path.t ->
+  string ->
+  Graph.t ->
+  unit
+(** [write_file path g] writes [to_dot g] to [path]. *)

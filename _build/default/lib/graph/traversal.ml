@@ -1,0 +1,47 @@
+let bfs_order g root =
+  if not (Graph.mem_node g root) then []
+  else begin
+    let seen = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.add seen root ();
+    Queue.add root queue;
+    let rec loop acc =
+      if Queue.is_empty queue then List.rev acc
+      else begin
+        let v = Queue.pop queue in
+        List.iter
+          (fun (w, _) ->
+            if not (Hashtbl.mem seen w) then begin
+              Hashtbl.add seen w ();
+              Queue.add w queue
+            end)
+          (Graph.succ g v);
+        loop (v :: acc)
+      end
+    in
+    loop []
+  end
+
+let dfs_order g root =
+  if not (Graph.mem_node g root) then []
+  else begin
+    let seen = Hashtbl.create 64 in
+    let rec visit acc v =
+      if Hashtbl.mem seen v then acc
+      else begin
+        Hashtbl.add seen v ();
+        List.fold_left
+          (fun acc (w, _) -> visit acc w)
+          (v :: acc) (Graph.succ g v)
+      end
+    in
+    List.rev (visit [] root)
+  end
+
+let reachable g root =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace seen v ()) (bfs_order g root);
+  seen
+
+let is_reachable g u v =
+  if u = v then Graph.mem_node g u else Hashtbl.mem (reachable g u) v

@@ -1,0 +1,1 @@
+lib/sim/controller.ml: Engine Flow_table Hashtbl List Network Option Sim_time

@@ -1,0 +1,1 @@
+lib/sim/controller.mli: Flow_table Network Sim_time

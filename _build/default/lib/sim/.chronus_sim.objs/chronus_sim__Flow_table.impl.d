@@ -1,0 +1,1 @@
+lib/sim/flow_table.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/sim/monitor.ml: Engine Float Hashtbl List Network Option Sim_time

@@ -1,0 +1,1 @@
+lib/sim/monitor.mli: Network Sim_time

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Engine Flow_table Hashtbl List Sim_time

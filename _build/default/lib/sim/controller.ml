@@ -1,0 +1,91 @@
+type flow_mod =
+  | Install of {
+      priority : int;
+      dst : int;
+      tag_match : Flow_table.tag_match;
+      action : Flow_table.action;
+    }
+  | Modify of {
+      dst : int;
+      tag_match : Flow_table.tag_match;
+      action : Flow_table.action;
+    }
+  | Remove of { dst : int; tag_match : Flow_table.tag_match }
+
+type t = {
+  net : Network.t;
+  latency : switch:int -> Sim_time.t;
+  (* Completion time of every command still outstanding, per switch; a
+     barrier must wait for the ones issued before it. *)
+  outstanding : (int, Sim_time.t list) Hashtbl.t;
+  mutable sent : int;
+  mutable peak_rules : int;
+}
+
+let create ?(latency = fun ~switch:_ -> Sim_time.msec 1) net =
+  {
+    net;
+    latency;
+    outstanding = Hashtbl.create 16;
+    sent = 0;
+    peak_rules = Network.total_rules net;
+  }
+
+let apply t ~switch mod_ =
+  let table = Network.table t.net switch in
+  (match mod_ with
+  | Install { priority; dst; tag_match; action } ->
+      ignore (Flow_table.install table ~priority ~dst ~tag_match action)
+  | Modify { dst; tag_match; action } ->
+      ignore (Flow_table.modify_actions table ~dst ~tag_match action)
+  | Remove { dst; tag_match } ->
+      ignore (Flow_table.remove table ~dst ~tag_match));
+  t.peak_rules <- max t.peak_rules (Network.total_rules t.net)
+
+let record_outstanding t switch time =
+  let current =
+    Option.value ~default:[] (Hashtbl.find_opt t.outstanding switch)
+  in
+  Hashtbl.replace t.outstanding switch (time :: current)
+
+let send t ?execute_at ~switch mod_ =
+  t.sent <- t.sent + 1;
+  let engine = Network.engine t.net in
+  let arrival = Engine.now engine + t.latency ~switch in
+  let applied_at =
+    match execute_at with
+    | None -> arrival
+    | Some stamp -> max arrival stamp
+  in
+  record_outstanding t switch applied_at;
+  Engine.at engine applied_at (fun () -> apply t ~switch mod_)
+
+let barrier t ~switch callback =
+  let engine = Network.engine t.net in
+  let request_arrival = Engine.now engine + t.latency ~switch in
+  let waiting_for =
+    Option.value ~default:[] (Hashtbl.find_opt t.outstanding switch)
+  in
+  let processed = List.fold_left max request_arrival waiting_for in
+  let reply_arrival = processed + t.latency ~switch in
+  Engine.at engine reply_arrival (fun () -> callback reply_arrival)
+
+let barrier_all t ~switches callback =
+  match switches with
+  | [] ->
+      let engine = Network.engine t.net in
+      Engine.after engine 0 (fun () -> callback (Engine.now engine))
+  | _ ->
+      let pending = ref (List.length switches) in
+      let latest = ref 0 in
+      List.iter
+        (fun switch ->
+          barrier t ~switch (fun at ->
+              latest := max !latest at;
+              decr pending;
+              if !pending = 0 then callback !latest))
+        switches
+
+let commands_sent t = t.sent
+
+let peak_rules t = t.peak_rules

@@ -1,0 +1,31 @@
+type t = { queue : Event_queue.t; mutable clock : Sim_time.t }
+
+let create () = { queue = Event_queue.create (); clock = 0 }
+
+let now t = t.clock
+
+let at t time thunk = Event_queue.push t.queue ~time:(max time t.clock) thunk
+
+let after t delay thunk = at t (t.clock + max 0 delay) thunk
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None ->
+        (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+        continue := false
+    | Some time -> (
+        match until with
+        | Some u when time > u ->
+            t.clock <- u;
+            continue := false
+        | _ -> (
+            match Event_queue.pop t.queue with
+            | None -> continue := false
+            | Some (time, thunk) ->
+                t.clock <- time;
+                thunk ()))
+  done
+
+let pending t = Event_queue.size t.queue

@@ -1,0 +1,20 @@
+(** The discrete-event loop: a clock and an event queue. Events scheduled
+    in the past fire immediately (at the current clock). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+
+val at : t -> Sim_time.t -> (unit -> unit) -> unit
+(** Schedule at an absolute time (clamped to [now] if earlier). *)
+
+val after : t -> Sim_time.t -> (unit -> unit) -> unit
+(** Schedule after a relative delay (clamped to 0). *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** Drain the queue in time order; with [until], stop once the next event
+    would fire strictly after it (the clock then reads [until]). *)
+
+val pending : t -> int

@@ -1,0 +1,16 @@
+(** A binary min-heap of timestamped events. Ties break by insertion
+    order, so simulations are deterministic. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+val push : t -> time:Sim_time.t -> (unit -> unit) -> unit
+(** Enqueue a thunk to fire at the given time. *)
+
+val pop : t -> (Sim_time.t * (unit -> unit)) option
+(** Earliest event, [None] when empty. *)
+
+val peek_time : t -> Sim_time.t option

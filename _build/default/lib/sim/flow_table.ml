@@ -1,0 +1,92 @@
+type tag_match = Any_tag | Tag of int
+
+type forward = Out of int | To_host | Drop
+
+type action = { set_tag : int option; forward : forward }
+
+type rule = {
+  id : int;
+  priority : int;
+  dst : int;
+  tag_match : tag_match;
+  action : action;
+}
+
+type t = { mutable rules : rule list; mutable next_id : int }
+
+let create () = { rules = []; next_id = 0 }
+
+let install t ~priority ~dst ~tag_match action =
+  let rule = { id = t.next_id; priority; dst; tag_match; action } in
+  t.next_id <- t.next_id + 1;
+  t.rules <- rule :: t.rules;
+  rule
+
+let same_match rule ~dst ~tag_match = rule.dst = dst && rule.tag_match = tag_match
+
+let modify_actions t ~dst ~tag_match action =
+  let changed = ref 0 in
+  t.rules <-
+    List.map
+      (fun r ->
+        if same_match r ~dst ~tag_match then begin
+          incr changed;
+          { r with action }
+        end
+        else r)
+      t.rules;
+  !changed
+
+let remove t ~dst ~tag_match =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> not (same_match r ~dst ~tag_match)) t.rules;
+  before - List.length t.rules
+
+let tag_ok tag_match tag =
+  match (tag_match, tag) with
+  | Any_tag, _ -> true
+  | Tag v, Some v' -> v = v'
+  | Tag _, None -> false
+
+let lookup t ~dst ~tag =
+  let candidates =
+    List.filter (fun r -> r.dst = dst && tag_ok r.tag_match tag) t.rules
+  in
+  let better a b =
+    a.priority > b.priority || (a.priority = b.priority && a.id < b.id)
+  in
+  List.fold_left
+    (fun best r ->
+      match best with
+      | None -> Some r
+      | Some b -> if better r b then Some r else best)
+    None candidates
+
+let size t = List.length t.rules
+
+let rules t =
+  List.sort
+    (fun a b ->
+      match compare b.priority a.priority with
+      | 0 -> compare a.id b.id
+      | c -> c)
+    t.rules
+
+let pp_forward ppf = function
+  | Out v -> Format.fprintf ppf "output:v%d" v
+  | To_host -> Format.pp_print_string ppf "output:host"
+  | Drop -> Format.pp_print_string ppf "drop"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "prio %d  dst v%d  tag %s  ->  %s%a@," r.priority
+        r.dst
+        (match r.tag_match with Any_tag -> "*" | Tag v -> string_of_int v)
+        (match r.action.set_tag with
+        | None -> ""
+        | Some v -> Printf.sprintf "set_tag:%d, " v)
+        pp_forward r.action.forward)
+    (rules t);
+  Format.fprintf ppf "@]"

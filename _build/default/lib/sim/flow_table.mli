@@ -1,0 +1,52 @@
+(** OpenFlow-style match/action flow tables, reduced to what the paper's
+    experiments use: exact destination match with an optional VLAN-tag
+    match (Table II). Highest priority wins; ties break towards the
+    oldest rule, as OpenFlow leaves this unspecified and determinism
+    matters for tests. *)
+
+type tag_match =
+  | Any_tag
+  | Tag of int  (** the LAN-ID versioning used by two-phase updates *)
+
+type forward =
+  | Out of int  (** output towards the given neighbouring switch *)
+  | To_host  (** deliver: this switch is the destination *)
+  | Drop
+
+type action = {
+  set_tag : int option;  (** stamp before forwarding (TP ingress) *)
+  forward : forward;
+}
+
+type rule = {
+  id : int;  (** unique per table, install order *)
+  priority : int;
+  dst : int;  (** destination switch (stands in for the dst IP prefix) *)
+  tag_match : tag_match;
+  action : action;
+}
+
+type t
+
+val create : unit -> t
+
+val install : t -> priority:int -> dst:int -> tag_match:tag_match -> action -> rule
+(** Add a rule; returns it (with its fresh id). *)
+
+val modify_actions : t -> dst:int -> tag_match:tag_match -> action -> int
+(** Rewrite the action of every rule with exactly these match fields —
+    Chronus's in-place action update. Returns how many rules changed. *)
+
+val remove : t -> dst:int -> tag_match:tag_match -> int
+(** Delete all rules with exactly these match fields; returns the count. *)
+
+val lookup : t -> dst:int -> tag:int option -> rule option
+(** Best-match semantics: the rule matches when [dst] equals and the tag
+    constraint is satisfied ([Any_tag] always; [Tag v] only when the
+    packet carries tag [v]). *)
+
+val size : t -> int
+val rules : t -> rule list
+(** Sorted by (priority desc, id asc). *)
+
+val pp : Format.formatter -> t -> unit

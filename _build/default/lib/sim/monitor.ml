@@ -1,0 +1,83 @@
+type sample = { at : Sim_time.t; mbps : float }
+
+type t = {
+  net : Network.t;
+  interval : Sim_time.t;
+  previous : (int * int, int) Hashtbl.t;
+  samples : (int * int, sample list) Hashtbl.t;
+  mutable peak_rules : int;
+  mutable stop_at : Sim_time.t option;
+}
+
+let take_sample t =
+  List.iter
+    (fun link ->
+      let current = Network.link_bytes t.net link in
+      let before =
+        Option.value ~default:0 (Hashtbl.find_opt t.previous link)
+      in
+      Hashtbl.replace t.previous link current;
+      let bits = float_of_int ((current - before) * 8) in
+      let mbps = bits /. Sim_time.to_sec t.interval /. 1e6 in
+      let s =
+        { at = Engine.now (Network.engine t.net); mbps }
+      in
+      let history =
+        Option.value ~default:[] (Hashtbl.find_opt t.samples link)
+      in
+      Hashtbl.replace t.samples link (s :: history))
+    (Network.links t.net);
+  t.peak_rules <- max t.peak_rules (Network.total_rules t.net)
+
+let create ?(interval = Sim_time.sec 1) net =
+  let t =
+    {
+      net;
+      interval;
+      previous = Hashtbl.create 32;
+      samples = Hashtbl.create 32;
+      peak_rules = Network.total_rules net;
+      stop_at = None;
+    }
+  in
+  let engine = Network.engine net in
+  let rec tick at =
+    let beyond =
+      match t.stop_at with Some stop -> at > stop | None -> false
+    in
+    if not beyond then
+      Engine.at engine at (fun () ->
+          take_sample t;
+          tick (at + interval))
+  in
+  tick (Engine.now engine + interval);
+  t
+
+let stop_after t time = t.stop_at <- Some time
+
+let series t link =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.samples link))
+
+let peak t link =
+  List.fold_left (fun acc s -> Float.max acc s.mbps) 0. (series t link)
+
+let busiest_link t =
+  Hashtbl.fold
+    (fun link _ acc ->
+      let p = peak t link in
+      match acc with
+      | Some (_, best) when best >= p -> acc
+      | _ -> Some (link, p))
+    t.samples None
+
+let congested_samples t =
+  Hashtbl.fold
+    (fun link history acc ->
+      let capacity = Network.link_capacity_mbps t.net link in
+      List.fold_left
+        (fun acc s -> if s.mbps > capacity then (link, s) :: acc else acc)
+        acc history)
+    t.samples []
+  |> List.sort compare
+
+let peak_rules t = t.peak_rules

@@ -1,0 +1,35 @@
+(** Bandwidth measurement, Floodlight-style: the controller periodically
+    reads every link's cumulative byte counter; the difference between two
+    reads divided by the interval is the bandwidth consumption plotted in
+    Fig. 6. Also keeps a running count of rule-table occupancy so that
+    Fig. 9 can report the peak footprint over a run. *)
+
+type t
+
+type sample = {
+  at : Sim_time.t;  (** end of the interval *)
+  mbps : float;
+}
+
+val create : ?interval:Sim_time.t -> Network.t -> t
+(** Start sampling every [interval] (default 1 s) from the current time;
+    runs for as long as the engine does. *)
+
+val stop_after : t -> Sim_time.t -> unit
+(** Do not schedule samples beyond this absolute time (the engine would
+    otherwise never drain). *)
+
+val series : t -> int * int -> sample list
+(** Chronological bandwidth series of a link. Empty when never sampled. *)
+
+val peak : t -> int * int -> float
+(** Highest observed consumption on a link, in Mbit/s; 0 when unknown. *)
+
+val busiest_link : t -> ((int * int) * float) option
+(** Link with the highest peak consumption. *)
+
+val congested_samples : t -> ((int * int) * sample) list
+(** Samples whose consumption exceeded the link capacity. *)
+
+val peak_rules : t -> int
+(** Largest total rule count observed at any sampling instant. *)

@@ -1,0 +1,120 @@
+type drop_reason = No_rule | Hop_limit
+
+type stats = {
+  delivered_bytes : int;
+  dropped_no_rule : int;
+  dropped_loop : int;
+}
+
+type link_state = {
+  capacity_mbps : float;
+  delay : Sim_time.t;
+  mutable bytes_in : int;
+}
+
+type t = {
+  engine : Engine.t;
+  tables : (int, Flow_table.t) Hashtbl.t;
+  link_map : (int * int, link_state) Hashtbl.t;
+  mutable delivered_bytes : int;
+  mutable dropped_no_rule : int;
+  mutable dropped_loop : int;
+  mutable drop_observers : (drop_reason -> switch:int -> bytes:int -> unit) list;
+}
+
+let hop_limit = 64
+
+let create engine =
+  {
+    engine;
+    tables = Hashtbl.create 64;
+    link_map = Hashtbl.create 64;
+    delivered_bytes = 0;
+    dropped_no_rule = 0;
+    dropped_loop = 0;
+    drop_observers = [];
+  }
+
+let engine t = t.engine
+
+let add_switch t v =
+  if not (Hashtbl.mem t.tables v) then
+    Hashtbl.replace t.tables v (Flow_table.create ())
+
+let add_link t ~capacity_mbps ~delay u v =
+  add_switch t u;
+  add_switch t v;
+  Hashtbl.replace t.link_map (u, v) { capacity_mbps; delay; bytes_in = 0 }
+
+let table t v = Hashtbl.find t.tables v
+
+let switches t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.tables [] |> List.sort compare
+
+let links t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.link_map [] |> List.sort compare
+
+let link_state t key =
+  match Hashtbl.find_opt t.link_map key with
+  | Some l -> l
+  | None -> raise Not_found
+
+let link_capacity_mbps t key = (link_state t key).capacity_mbps
+let link_delay t key = (link_state t key).delay
+let link_bytes t key = (link_state t key).bytes_in
+
+let drop t reason ~switch ~bytes =
+  (match reason with
+  | No_rule -> t.dropped_no_rule <- t.dropped_no_rule + bytes
+  | Hop_limit -> t.dropped_loop <- t.dropped_loop + bytes);
+  List.iter (fun f -> f reason ~switch ~bytes) t.drop_observers
+
+(* Process a chunk arriving at switch [v] now. *)
+let rec arrive t v ~dst ~tag ~bytes ~hops =
+  if hops > hop_limit then drop t Hop_limit ~switch:v ~bytes
+  else
+    match Flow_table.lookup (table t v) ~dst ~tag with
+    | None -> drop t No_rule ~switch:v ~bytes
+    | Some rule -> (
+        let tag =
+          match rule.Flow_table.action.Flow_table.set_tag with
+          | None -> tag
+          | Some stamp -> Some stamp
+        in
+        match rule.Flow_table.action.Flow_table.forward with
+        | Flow_table.Drop -> drop t No_rule ~switch:v ~bytes
+        | Flow_table.To_host -> t.delivered_bytes <- t.delivered_bytes + bytes
+        | Flow_table.Out w -> (
+            match Hashtbl.find_opt t.link_map (v, w) with
+            | None -> drop t No_rule ~switch:v ~bytes
+            | Some link ->
+                link.bytes_in <- link.bytes_in + bytes;
+                Engine.after t.engine link.delay (fun () ->
+                    arrive t w ~dst ~tag ~bytes ~hops:(hops + 1))))
+
+let inject t ~at ~dst ?tag ~bytes () = arrive t at ~dst ~tag ~bytes ~hops:0
+
+let add_source t ~attach ~dst ~rate_mbps ?(chunk = Sim_time.msec 10) ~start
+    ~stop () =
+  let bytes_per_chunk =
+    int_of_float (rate_mbps *. 1e6 /. 8. *. Sim_time.to_sec chunk)
+  in
+  let rec emit at =
+    if at < stop then
+      Engine.at t.engine at (fun () ->
+          inject t ~at:attach ~dst ~bytes:bytes_per_chunk ();
+          emit (at + chunk))
+  in
+  emit start
+
+let stats t =
+  {
+    delivered_bytes = t.delivered_bytes;
+    dropped_no_rule = t.dropped_no_rule;
+    dropped_loop = t.dropped_loop;
+  }
+
+let total_rules t =
+  Hashtbl.fold (fun _ table acc -> acc + Flow_table.size table) t.tables 0
+
+let on_drop t f = t.drop_observers <- t.drop_observers @ [ f ]

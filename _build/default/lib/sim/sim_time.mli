@@ -1,0 +1,15 @@
+(** Simulated wall-clock time in integer microseconds — the resolution of
+    Time4-style scheduled updates ("on the order of one microsecond"). *)
+
+type t = int
+
+val usec : int -> t
+val msec : int -> t
+val sec : int -> t
+val of_sec_float : float -> t
+
+val to_sec : t -> float
+val to_msec : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Prints seconds with millisecond precision. *)

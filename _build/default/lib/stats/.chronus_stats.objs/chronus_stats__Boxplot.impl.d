@@ -1,0 +1,1 @@
+lib/stats/boxplot.ml: Descriptive Format List Printf

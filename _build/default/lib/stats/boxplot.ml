@@ -1,0 +1,34 @@
+type t = {
+  low_whisker : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  high_whisker : float;
+  outliers : float list;
+}
+
+let of_samples xs =
+  let q1 = Descriptive.percentile 25. xs in
+  let median = Descriptive.median xs in
+  let q3 = Descriptive.percentile 75. xs in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let inside = List.filter (fun x -> x >= lo_fence && x <= hi_fence) xs in
+  let low_whisker, high_whisker =
+    match inside with
+    | [] -> (q1, q3)
+    | _ -> (Descriptive.minimum inside, Descriptive.maximum inside)
+  in
+  let outliers =
+    List.sort compare (List.filter (fun x -> x < lo_fence || x > hi_fence) xs)
+  in
+  { low_whisker; q1; median; q3; high_whisker; outliers }
+
+let of_int_samples xs = of_samples (Descriptive.of_ints xs)
+
+let pp ppf b =
+  Format.fprintf ppf "[%.1f | %.1f [%.1f] %.1f | %.1f]%s" b.low_whisker b.q1
+    b.median b.q3 b.high_whisker
+    (match b.outliers with
+    | [] -> ""
+    | l -> Printf.sprintf " +%d outliers" (List.length l))

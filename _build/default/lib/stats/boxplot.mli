@@ -1,0 +1,18 @@
+(** Five-number box-plot summaries — the boxes of Fig. 9. *)
+
+type t = {
+  low_whisker : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  high_whisker : float;
+  outliers : float list;
+}
+
+val of_samples : float list -> t
+(** Standard Tukey boxes: whiskers at the most extreme samples within
+    1.5 IQR of the quartiles. @raise Invalid_argument on empty input. *)
+
+val of_int_samples : int list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topo/scenario.ml: Array Chronus_flow Chronus_graph Fun Graph Instance List Path Rng

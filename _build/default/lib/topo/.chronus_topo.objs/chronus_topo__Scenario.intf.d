@@ -1,0 +1,1 @@
+lib/topo/scenario.mli: Chronus_flow Instance Rng

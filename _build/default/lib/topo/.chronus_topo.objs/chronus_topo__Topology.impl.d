@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Chronus_graph Fun Graph List Rng

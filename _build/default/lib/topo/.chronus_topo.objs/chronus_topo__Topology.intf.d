@@ -1,0 +1,1 @@
+lib/topo/topology.mli: Chronus_graph Graph Rng

@@ -1,0 +1,42 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let split t =
+  Random.State.make
+    [| Random.State.bits t; Random.State.bits t; Random.State.bits t |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Random.State.int t bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Rng.in_range: empty range";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+
+let bool t = Random.State.bool t
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample t k l =
+  let shuffled = shuffle t l in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take k shuffled

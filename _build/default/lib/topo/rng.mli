@@ -1,0 +1,31 @@
+(** Seeded deterministic randomness for workload generation. Every
+    experiment takes an explicit seed so that runs are reproducible. *)
+
+type t
+
+val make : int -> t
+(** Independent generator from a seed. *)
+
+val split : t -> t
+(** A fresh generator derived from (and advancing) this one — use to give
+    sub-experiments independent streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [[lo, hi]] inclusive. *)
+
+val float : t -> float -> float
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k l] draws [k] elements without replacement (all of [l] if
+    [k >= List.length l]); order is random. *)

@@ -1,0 +1,129 @@
+open Chronus_graph
+open Chronus_flow
+
+type spec = {
+  n : int;
+  demand : int;
+  capacity_choices : int list;
+  delay_lo : int;
+  delay_hi : int;
+}
+
+let spec ?(demand = 1) ?(capacity_choices = [ 1; 2; 2 ]) ?(delay_lo = 1)
+    ?(delay_hi = 3) n =
+  if n < 3 then invalid_arg "Scenario.spec: need at least 3 switches";
+  if List.exists (fun c -> c < demand) capacity_choices then
+    invalid_arg "Scenario.spec: capacity below demand";
+  if capacity_choices = [] then
+    invalid_arg "Scenario.spec: no capacity choices";
+  { n; demand; capacity_choices; delay_lo; delay_hi }
+
+let fig1_example () =
+  let g = Graph.create () in
+  List.iter
+    (fun (u, v) -> Graph.add_edge ~capacity:1 ~delay:1 g u v)
+    [
+      (1, 2); (2, 3); (3, 4); (4, 5); (5, 6);
+      (1, 4); (4, 3); (3, 5); (5, 2); (2, 6);
+    ];
+  Instance.create ~graph:g ~demand:1 ~p_init:[ 1; 2; 3; 4; 5; 6 ]
+    ~p_fin:[ 1; 4; 3; 5; 2; 6 ]
+
+(* Materialise the union graph of the given paths; links already present
+   keep their first-drawn delay so shared hops stay shared. *)
+let materialize ~rng s paths =
+  let g = Graph.create ~size:s.n () in
+  for v = 0 to s.n - 1 do
+    Graph.add_node g v
+  done;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (u, v) ->
+          if not (Graph.mem_edge g u v) then
+            Graph.add_edge
+              ~capacity:(Rng.pick rng s.capacity_choices)
+              ~delay:(Rng.in_range rng s.delay_lo s.delay_hi)
+              g u v)
+        (Path.edges p))
+    paths;
+  g
+
+let chain s = List.init s.n Fun.id
+
+let build ~rng s p_init p_fin =
+  let g = materialize ~rng s [ p_init; p_fin ] in
+  Instance.create ~graph:g ~demand:s.demand ~p_init ~p_fin
+
+let random_final ~rng s =
+  let p_init = chain s in
+  let middle = List.init (s.n - 2) (fun i -> i + 1) in
+  let k = Rng.in_range rng 1 (s.n - 2) in
+  let via = Rng.sample rng k middle in
+  let p_fin = (0 :: via) @ [ s.n - 1 ] in
+  build ~rng s p_init p_fin
+
+let segment_reversal ?(max_len = 8) ~rng s =
+  let p_init = chain s in
+  if s.n < 4 then build ~rng s p_init p_init
+  else begin
+    let i = Rng.in_range rng 1 (s.n - 3) in
+    let j = Rng.in_range rng (i + 1) (min (s.n - 2) (i + max_len - 1)) in
+    let arr = Array.of_list p_init in
+    let lo = ref i and hi = ref j in
+    while !lo < !hi do
+      let tmp = arr.(!lo) in
+      arr.(!lo) <- arr.(!hi);
+      arr.(!hi) <- tmp;
+      incr lo;
+      decr hi
+    done;
+    build ~rng s p_init (Array.to_list arr)
+  end
+
+let shortcut ~rng s =
+  let p_init = chain s in
+  let keep =
+    List.filter (fun v -> v = 0 || v = s.n - 1 || Rng.bool rng) p_init
+  in
+  build ~rng s p_init keep
+
+let random_pair ~rng s =
+  let middle = List.init (s.n - 2) (fun i -> i + 1) in
+  let draw ~ordered =
+    let k = Rng.in_range rng 1 (s.n - 2) in
+    let via = Rng.sample rng k middle in
+    let via = if ordered then List.sort compare via else via in
+    (0 :: via) @ [ s.n - 1 ]
+  in
+  build ~rng s (draw ~ordered:true) (draw ~ordered:false)
+
+let mixed ~rng s =
+  match Rng.int rng 3 with
+  | 0 -> random_final ~rng s
+  | 1 -> segment_reversal ~rng s
+  | _ -> shortcut ~rng s
+
+let long_chain ~rng s =
+  (* One reversed segment of bounded length at a random position in an
+     n-switch chain: the flow's path — and hence every drain horizon,
+     trace, and oracle window — scales with n, while the update region
+     itself stays local, which is what keeps giant instances schedulable
+     at all (Fig. 10 times the algorithms, not infeasibility proofs). *)
+  let p_init = chain s in
+  if s.n < 6 then build ~rng s p_init p_init
+  else begin
+    let seg = min 8 ((s.n - 2) / 2) in
+    let i = Rng.in_range rng 1 (s.n - 1 - seg) in
+    let j = i + seg - 1 in
+    let arr = Array.of_list p_init in
+    let lo = ref i and hi = ref j in
+    while !lo < !hi do
+      let tmp = arr.(!lo) in
+      arr.(!lo) <- arr.(!hi);
+      arr.(!hi) <- tmp;
+      incr lo;
+      decr hi
+    done;
+    build ~rng s p_init (Array.to_list arr)
+  end

@@ -1,0 +1,60 @@
+(** Update-instance generators: the workloads of the paper's evaluation.
+
+    The paper fixes the initial routing path and draws the final path at
+    random with the same source and destination ("the final path is based
+    on random routing"). We materialise exactly the links the two paths
+    need — the union graph, as in Fig. 1 — with the link capacity of the
+    experiment and transmission delays drawn from a range. *)
+
+open Chronus_flow
+
+type spec = {
+  n : int;  (** number of switches; the x-axis of Figs. 7–10 *)
+  demand : int;
+  capacity_choices : int list;
+      (** per-link capacity drawn uniformly from these values; a link of
+          capacity [>= 2 * demand] can absorb a transient merge, one of
+          capacity [demand] cannot *)
+  delay_lo : int;
+  delay_hi : int;  (** per-link delay drawn uniformly from the range *)
+}
+
+val spec :
+  ?demand:int -> ?capacity_choices:int list -> ?delay_lo:int ->
+  ?delay_hi:int -> int -> spec
+(** Defaults: demand 1, capacities drawn from [[1; 2; 2]] (two thirds of links can
+    absorb a transient merge, half cannot — the paper's unit-capacity
+    example is the [[1]] special case), delays in [1, 3]. *)
+
+val fig1_example : unit -> Instance.t
+(** The worked example of Figs. 1–3 and 5: six switches, unit capacities
+    and delays, old path [v1..v6], new path [v1 v4 v3 v5 v2 v6]. *)
+
+val random_final : rng:Rng.t -> spec -> Instance.t
+(** The paper's generator: [p_init] visits switches [0..n-1] in order;
+    [p_fin] goes from the source through a uniformly drawn, uniformly
+    ordered subset of the middle switches to the destination. *)
+
+val segment_reversal : ?max_len:int -> rng:Rng.t -> spec -> Instance.t
+(** [p_fin] is [p_init] with one random contiguous middle segment
+    reversed — the generalisation of the paper's Fig. 1 scenario. *)
+
+val shortcut : rng:Rng.t -> spec -> Instance.t
+(** [p_fin] keeps a random subsequence of [p_init] (same order), skipping
+    the rest: produces Delete updates and delay-shortening merges, the
+    configurations in which no congestion-free schedule may exist. *)
+
+val random_pair : rng:Rng.t -> spec -> Instance.t
+(** Both paths random: the initial path goes through an ordered random
+    subset of the middle switches, the final path through an unordered
+    one. Used where per-instance variance matters (Fig. 9's box plot). *)
+
+val mixed : rng:Rng.t -> spec -> Instance.t
+(** Uniformly one of {!random_final}, {!segment_reversal}, {!shortcut}. *)
+
+val long_chain : rng:Rng.t -> spec -> Instance.t
+(** Scale generator for Fig. 10: a path through all [n] switches with one
+    reversed segment of bounded length at a random position. Path lengths
+    — and with them every horizon computation, trace, and oracle window —
+    grow with [n] while the update region stays local, so the instances
+    remain schedulable at thousands of switches. *)

@@ -1,0 +1,173 @@
+open Chronus_graph
+
+type params = { capacity : int; delay : int }
+
+let default = { capacity = 1; delay = 1 }
+
+let bidir ~params g u v =
+  Graph.add_edge ~capacity:params.capacity ~delay:params.delay g u v;
+  Graph.add_edge ~capacity:params.capacity ~delay:params.delay g v u
+
+let with_nodes n =
+  let g = Graph.create ~size:n () in
+  for v = 0 to n - 1 do
+    Graph.add_node g v
+  done;
+  g
+
+let line ?(params = default) n =
+  let g = with_nodes n in
+  for v = 0 to n - 2 do
+    bidir ~params g v (v + 1)
+  done;
+  g
+
+let ring ?(params = default) n =
+  let g = line ~params n in
+  if n > 2 then bidir ~params g (n - 1) 0;
+  g
+
+let grid ?(params = default) w h =
+  let g = with_nodes (w * h) in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let v = (y * w) + x in
+      if x < w - 1 then bidir ~params g v (v + 1);
+      if y < h - 1 then bidir ~params g v (v + w)
+    done
+  done;
+  g
+
+let torus ?(params = default) w h =
+  let g = grid ~params w h in
+  if w > 2 then
+    for y = 0 to h - 1 do
+      bidir ~params g ((y * w) + w - 1) (y * w)
+    done;
+  if h > 2 then
+    for x = 0 to w - 1 do
+      bidir ~params g (((h - 1) * w) + x) x
+    done;
+  g
+
+let complete ?(params = default) n =
+  let g = with_nodes n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then
+        Graph.add_edge ~capacity:params.capacity ~delay:params.delay g u v
+    done
+  done;
+  g
+
+let star ?(params = default) n =
+  let g = with_nodes n in
+  for v = 1 to n - 1 do
+    bidir ~params g 0 v
+  done;
+  g
+
+let erdos_renyi ?(params = default) ~rng ~p n =
+  let g = with_nodes n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Rng.float rng 1.0 < p then
+        Graph.add_edge ~capacity:params.capacity ~delay:params.delay g u v
+    done
+  done;
+  g
+
+let random_regular ?(params = default) ~rng ~k n =
+  let g = with_nodes n in
+  let degree = Array.make n 0 in
+  let attempts = ref (20 * n * k) in
+  let open_nodes () =
+    List.filter (fun v -> degree.(v) < k) (List.init n Fun.id)
+  in
+  let rec wire () =
+    decr attempts;
+    if !attempts <= 0 then ()
+    else
+      match open_nodes () with
+      | [] | [ _ ] -> ()
+      | candidates ->
+          let u = Rng.pick rng candidates in
+          let others = List.filter (fun v -> v <> u) candidates in
+          let unlinked =
+            List.filter (fun v -> not (Graph.mem_edge g u v)) others
+          in
+          (match unlinked with
+          | [] -> ()
+          | _ ->
+              let v = Rng.pick rng unlinked in
+              bidir ~params g u v;
+              degree.(u) <- degree.(u) + 1;
+              degree.(v) <- degree.(v) + 1);
+          wire ()
+  in
+  wire ();
+  g
+
+let waxman ?(params = default) ~rng ~alpha ~beta n =
+  let g = with_nodes n in
+  let coords =
+    Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0))
+  in
+  let dist u v =
+    let x1, y1 = coords.(u) and x2, y2 = coords.(v) in
+    sqrt (((x1 -. x2) ** 2.) +. ((y1 -. y2) ** 2.))
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = alpha *. exp (-.dist u v /. (beta *. sqrt 2.)) in
+      if Rng.float rng 1.0 < p then bidir ~params g u v
+    done
+  done;
+  g
+
+let fat_tree ?(params = default) k =
+  if k mod 2 <> 0 || k <= 0 then invalid_arg "Topology.fat_tree: k must be even";
+  let half = k / 2 in
+  let core_count = half * half in
+  let agg_per_pod = half and edge_per_pod = half in
+  (* Ids: cores first, then per pod: aggregation then edge switches. *)
+  let core i = i in
+  let agg pod i = core_count + (pod * (agg_per_pod + edge_per_pod)) + i in
+  let edge pod i =
+    core_count + (pod * (agg_per_pod + edge_per_pod)) + agg_per_pod + i
+  in
+  let total = core_count + (k * (agg_per_pod + edge_per_pod)) in
+  let g = with_nodes total in
+  for pod = 0 to k - 1 do
+    for a = 0 to agg_per_pod - 1 do
+      (* Each aggregation switch reaches k/2 cores. *)
+      for c = 0 to half - 1 do
+        bidir ~params g (agg pod a) (core ((a * half) + c))
+      done;
+      for e = 0 to edge_per_pod - 1 do
+        bidir ~params g (agg pod a) (edge pod e)
+      done
+    done
+  done;
+  g
+
+let remap_edges f g =
+  let g' = Graph.create ~size:(Graph.node_count g) () in
+  List.iter (fun v -> Graph.add_node g' v) (Graph.nodes g);
+  List.iter
+    (fun (u, v, e) ->
+      let e' = f (u, v, e) in
+      Graph.add_edge ~capacity:e'.Graph.capacity ~delay:e'.Graph.delay g' u v)
+    (Graph.edges g);
+  g'
+
+let randomize_delays ~rng ~lo ~hi g =
+  remap_edges
+    (fun (_, _, (e : Graph.edge)) -> { e with Graph.delay = Rng.in_range rng lo hi })
+    g
+
+let randomize_capacities ~rng ~choices g =
+  remap_edges
+    (fun (_, _, (e : Graph.edge)) ->
+      { e with Graph.capacity = Rng.pick rng choices })
+    g

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Chronus_flow Chronus_graph Chronus_topo Format Graph Instance List Oracle QCheck QCheck_alcotest Schedule

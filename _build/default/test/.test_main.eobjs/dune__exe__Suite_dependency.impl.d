@@ -1,0 +1,1 @@
+test/suite_dependency.ml: Alcotest Chronus_core Chronus_flow Dependency Drain Helpers Instance List Printf Schedule

@@ -1,0 +1,1 @@
+test/suite_drain.ml: Alcotest Chronus_core Chronus_flow Chronus_topo Drain Format Helpers Horizon Instance List Option Oracle Printf Schedule

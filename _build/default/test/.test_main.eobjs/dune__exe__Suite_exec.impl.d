@@ -1,0 +1,1 @@
+test/suite_exec.ml: Alcotest Chronus_exec Chronus_flow Chronus_sim Exec_env Helpers List Order_exec Sim_time Timed_exec Two_phase_exec

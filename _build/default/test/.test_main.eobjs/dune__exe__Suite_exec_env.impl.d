@@ -1,0 +1,1 @@
+test/suite_exec_env.ml: Alcotest Chronus_exec Chronus_flow Chronus_sim Controller Exec_env Flow_table Helpers Instance List Network Printf Sim_time

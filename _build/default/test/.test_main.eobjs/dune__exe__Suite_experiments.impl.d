@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Chronus_experiments Chronus_topo Helpers List String

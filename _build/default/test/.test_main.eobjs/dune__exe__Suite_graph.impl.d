@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Chronus_graph Graph List Option

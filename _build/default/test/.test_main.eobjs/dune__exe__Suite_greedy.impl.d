@@ -1,0 +1,1 @@
+test/suite_greedy.ml: Alcotest Chronus_core Chronus_flow Drain Greedy Helpers Instance Loop_check Safety Schedule

@@ -1,0 +1,1 @@
+test/suite_instance.ml: Alcotest Chronus_flow Helpers Instance List

@@ -1,0 +1,1 @@
+test/suite_mutp.ml: Alcotest Chronus_core Chronus_flow Fallback Feasibility Helpers Instance List Mutp Oracle Schedule String

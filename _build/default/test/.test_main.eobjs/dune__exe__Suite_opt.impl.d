@@ -1,0 +1,1 @@
+test/suite_opt.ml: Alcotest Chronus_baselines Chronus_core Chronus_flow Feasibility Format Greedy Helpers Instance Opt Printf Schedule

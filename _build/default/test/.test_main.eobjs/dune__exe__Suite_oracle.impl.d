@@ -1,0 +1,1 @@
+test/suite_oracle.ml: Alcotest Chronus_core Chronus_flow Chronus_graph Helpers Instance List Oracle Printf Schedule

@@ -1,0 +1,1 @@
+test/suite_order_replacement.ml: Alcotest Chronus_baselines Chronus_flow Chronus_topo Helpers List Oracle Order_replacement Printf Schedule String

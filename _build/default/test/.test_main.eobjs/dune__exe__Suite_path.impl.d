@@ -1,0 +1,1 @@
+test/suite_path.ml: Alcotest Chronus_graph Helpers Path

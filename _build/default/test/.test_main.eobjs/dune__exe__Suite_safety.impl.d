@@ -1,0 +1,1 @@
+test/suite_safety.ml: Alcotest Chronus_core Chronus_flow Drain Format Helpers Horizon Instance List Oracle Printf Safety Schedule

@@ -1,0 +1,1 @@
+test/suite_scenario.ml: Alcotest Chronus_flow Chronus_graph Chronus_topo Fun Graph Instance List Path Rng Scenario

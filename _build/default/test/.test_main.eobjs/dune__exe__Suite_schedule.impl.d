@@ -1,0 +1,1 @@
+test/suite_schedule.ml: Alcotest Chronus_flow Helpers Schedule

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Chronus_sim Chronus_topo Controller Engine Event_queue Flow_table List Monitor Network Sim_time

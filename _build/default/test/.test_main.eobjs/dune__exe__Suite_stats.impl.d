@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Boxplot Cdf Chronus_stats Descriptive List String Table

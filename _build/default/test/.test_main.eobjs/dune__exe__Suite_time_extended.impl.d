@@ -1,0 +1,1 @@
+test/suite_time_extended.ml: Alcotest Chronus_flow Chronus_graph Graph Helpers Instance List Oracle Printf Schedule String Time_extended

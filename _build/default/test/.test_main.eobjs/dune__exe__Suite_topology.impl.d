@@ -1,0 +1,1 @@
+test/suite_topology.ml: Alcotest Chronus_graph Chronus_topo Fun Graph List Printf Rng Topology

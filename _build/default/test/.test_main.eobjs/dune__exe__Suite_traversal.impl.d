@@ -1,0 +1,1 @@
+test/suite_traversal.ml: Alcotest Chronus_graph Cycle Dot Graph Helpers List Printf Shortest String Traversal

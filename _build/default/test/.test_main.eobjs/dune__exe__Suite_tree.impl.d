@@ -1,0 +1,1 @@
+test/suite_tree.ml: Alcotest Chronus_baselines Chronus_core Chronus_flow Format Greedy Helpers Instance List Oracle Tree

@@ -1,0 +1,1 @@
+test/suite_two_phase.ml: Alcotest Chronus_baselines Chronus_flow Chronus_graph Graph Helpers Instance List Path Printf Two_phase

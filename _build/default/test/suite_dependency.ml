@@ -1,0 +1,103 @@
+open Chronus_flow
+open Chronus_core
+
+let deps_at inst sched ~remaining ~time =
+  Dependency.at inst (Drain.make inst) sched ~remaining ~time
+
+let test_fig5_t0_chain () =
+  (* Fig. 5 at t0: the single chain v2 -> v4 -> v3 -> v1 -> v5. *)
+  let inst = Helpers.fig1 () in
+  let dep =
+    deps_at inst Schedule.empty
+      ~remaining:(Instance.switches_to_update inst)
+      ~time:0
+  in
+  Alcotest.(check bool)
+    "single chain" true
+    (dep.Dependency.chains = [ [ 2; 4; 3; 1; 5 ] ]);
+  Alcotest.(check bool) "no cycle" true (dep.Dependency.cyclic = []);
+  Alcotest.(check (list int)) "head is v2" [ 2 ] (Dependency.heads dep)
+
+let test_fig5_t1_inertness () =
+  (* After v2 flips at t0, v3 receives no further traffic: at t1 it is
+     inert and becomes a head (the refinement that reproduces the paper's
+     {(v3 v1 v5), (v4)} evolution). *)
+  let inst = Helpers.fig1 () in
+  let dep =
+    deps_at inst
+      (Schedule.of_list [ (2, 0) ])
+      ~remaining:[ 1; 3; 4; 5 ] ~time:1
+  in
+  Alcotest.(check bool) "v3 among heads" true
+    (List.mem 3 (Dependency.heads dep))
+
+let test_heads_are_chain_heads () =
+  let inst = Helpers.fig1 () in
+  let dep =
+    deps_at inst Schedule.empty
+      ~remaining:(Instance.switches_to_update inst)
+      ~time:0
+  in
+  List.iter
+    (fun chain ->
+      match chain with
+      | [] -> Alcotest.fail "empty chain"
+      | head :: _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "v%d is a head" head)
+            true
+            (List.mem head (Dependency.heads dep)))
+    dep.Dependency.chains
+
+let test_no_dependency_when_capacity_suffices () =
+  (* Same shape as Fig. 1 but with capacity 2 everywhere: both streams fit
+     on every link, so nothing depends on anything. *)
+  let g =
+    Helpers.graph_of
+      (List.map
+         (fun (u, v) -> (u, v, 2, 1))
+         [
+           (1, 2); (2, 3); (3, 4); (4, 5); (5, 6);
+           (1, 4); (4, 3); (3, 5); (5, 2); (2, 6);
+         ])
+  in
+  let inst =
+    Instance.create ~graph:g ~demand:1 ~p_init:[ 1; 2; 3; 4; 5; 6 ]
+      ~p_fin:[ 1; 4; 3; 5; 2; 6 ]
+  in
+  let dep =
+    deps_at inst Schedule.empty
+      ~remaining:(Instance.switches_to_update inst)
+      ~time:0
+  in
+  Alcotest.(check (list int))
+    "everyone is a singleton head" [ 1; 2; 3; 4; 5 ]
+    (Dependency.heads dep)
+
+let test_chains_partition_remaining () =
+  for seed = 0 to 19 do
+    let inst = Helpers.instance_of_seed seed in
+    let remaining = Instance.switches_to_update inst in
+    let dep = deps_at inst Schedule.empty ~remaining ~time:0 in
+    let members =
+      List.concat dep.Dependency.chains @ List.concat dep.Dependency.cyclic
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d: partition" seed)
+      remaining
+      (List.sort compare members)
+  done
+
+let suite =
+  ( "dependency",
+    [
+      Alcotest.test_case "Fig. 5 chain at t0" `Quick test_fig5_t0_chain;
+      Alcotest.test_case "inert switches become heads (Fig. 5 t1)" `Quick
+        test_fig5_t1_inertness;
+      Alcotest.test_case "heads are chain heads" `Quick
+        test_heads_are_chain_heads;
+      Alcotest.test_case "ample capacity removes dependencies" `Quick
+        test_no_dependency_when_capacity_suffices;
+      Alcotest.test_case "chains partition the remaining switches" `Quick
+        test_chains_partition_remaining;
+    ] )

@@ -1,0 +1,147 @@
+open Chronus_flow
+open Chronus_core
+
+let test_horizon_algebra () =
+  let open Horizon in
+  Alcotest.(check bool) "never before anything" true (before Never 0);
+  Alcotest.(check bool) "forever never before" false (before Forever max_int);
+  Alcotest.(check bool) "until strict" true (before (Until 3) 4);
+  Alcotest.(check bool) "until inclusive edge" false (before (Until 3) 3);
+  Alcotest.(check bool) "at_or_after" true (at_or_after (Until 3) 3);
+  Alcotest.(check bool) "min order" true (min (Until 2) (Until 5) = Until 2);
+  Alcotest.(check bool) "never smallest" true (min Never (Until 0) = Never);
+  Alcotest.(check bool) "forever largest" true
+    (max Forever (Until 100) = Forever);
+  Alcotest.(check bool) "add shifts" true (add (Until 3) 2 = Until 5);
+  Alcotest.(check bool) "add absorbs never" true (add Never 2 = Never);
+  Alcotest.(check bool) "add absorbs forever" true (add Forever 2 = Forever);
+  Alcotest.(check int) "compare equal" 0 (compare (Until 7) (Until 7))
+
+let test_unscheduled_flows_forever () =
+  let inst = Helpers.fig1 () in
+  let drain = Drain.make inst in
+  let view = Drain.view drain Schedule.empty in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arrivals at v%d forever" v)
+        true
+        (Drain.last_arrival view v = Horizon.Forever))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "all_drained is forever" true
+    (Drain.all_drained_by view = Horizon.Forever);
+  Alcotest.(check bool) "off-path never" true
+    (Drain.last_arrival view 42 = Horizon.Never)
+
+let test_divert_horizons () =
+  (* v2 flips at t0: arrivals downstream stop after the in-flight tail. *)
+  let inst = Helpers.fig1 () in
+  let drain = Drain.make inst in
+  let view = Drain.view drain (Schedule.of_list [ (2, 0) ]) in
+  Alcotest.(check bool) "source keeps receiving" true
+    (Drain.last_arrival view 1 = Horizon.Forever);
+  Alcotest.(check bool) "v2 keeps receiving" true
+    (Drain.last_arrival view 2 = Horizon.Forever);
+  Alcotest.(check bool) "v3 last arrival t0" true
+    (Drain.last_arrival view 3 = Horizon.Until 0);
+  Alcotest.(check bool) "v4 last arrival t1" true
+    (Drain.last_arrival view 4 = Horizon.Until 1);
+  Alcotest.(check bool) "v5 last arrival t2" true
+    (Drain.last_arrival view 5 = Horizon.Until 2);
+  (* Exits: v2's own flip also stops its old outgoing link. *)
+  Alcotest.(check bool) "v2 old exit stops" true
+    (Drain.last_old_exit view 2 = Horizon.Until (-1));
+  Alcotest.(check bool) "v5 exit t2" true
+    (Drain.last_old_exit view 5 = Horizon.Until 2);
+  Alcotest.(check bool) "dst never exits" true
+    (Drain.last_old_exit view 6 = Horizon.Never);
+  (* The prefix link (v1, v2) still carries the rerouted flow forever, so
+     the old path as a whole never drains under this partial schedule. *)
+  Alcotest.(check bool) "not fully drained" true
+    (Drain.all_drained_by view = Horizon.Forever);
+  (* Once the source itself diverts, everything drains: the tail needs
+     its prefix delay to clear each link. *)
+  let view = Drain.view drain (Schedule.of_list [ (1, 0); (2, 0) ]) in
+  (* Last pure-old cohort is injected at -2 (later ones divert at v1 or
+     v2); it reaches the destination at t = 3. *)
+  Alcotest.(check bool) "drained by t3 after source flip" true
+    (Drain.all_drained_by view = Horizon.Until 3)
+
+(* Ground truth: compute last pure-old-path arrival by tracing every
+   cohort through the oracle and keeping those whose visit prefix matches
+   the initial path. *)
+let brute_force_last_arrival inst sched v =
+  let p_init = inst.Instance.p_init in
+  let window_lo = -Instance.init_delay inst - 2 in
+  let window_hi = Schedule.max_time sched + Instance.init_delay inst + 3 in
+  let last = ref None in
+  for tau = window_lo to window_hi do
+    let cohort = Oracle.trace inst sched tau in
+    let rec arrives_via_old path visits =
+      match (path, visits) with
+      | p :: _, [ (w, t) ] -> if p = w && w = v then Some t else None
+      | p :: prest, (w, t) :: vrest ->
+          if p <> w then None
+          else if w = v then Some t
+          else arrives_via_old prest vrest
+      | [], _ | _, [] -> None
+    in
+    match arrives_via_old p_init cohort.Oracle.visits with
+    | Some t -> last := Some (max t (Option.value ~default:min_int !last))
+    | None -> ()
+  done;
+  !last
+
+let test_drain_matches_oracle () =
+  (* The closed-form horizons agree with brute force on random partial
+     schedules, as long as the window is wide enough to see the last
+     arrival. *)
+  let rng = Chronus_topo.Rng.make 99 in
+  for seed = 0 to 24 do
+    let inst = Helpers.instance_of_seed seed in
+    let drain = Drain.make inst in
+    let switches = Instance.switches_to_update inst in
+    let sched =
+      List.fold_left
+        (fun s v ->
+          if Chronus_topo.Rng.bool rng then
+            Schedule.add v (Chronus_topo.Rng.int rng 5) s
+          else s)
+        Schedule.empty switches
+    in
+    let view = Drain.view drain sched in
+    List.iter
+      (fun v ->
+        match Drain.last_arrival view v with
+        | Horizon.Until expected -> (
+            match brute_force_last_arrival inst sched v with
+            | Some actual ->
+                Alcotest.(check int)
+                  (Format.asprintf "seed %d, v%d under %a" seed v Schedule.pp
+                     sched)
+                  expected actual
+            | None -> ())
+        | Horizon.Forever | Horizon.Never -> ())
+      inst.Instance.p_init
+  done
+
+let test_expiries () =
+  let inst = Helpers.fig1 () in
+  let drain = Drain.make inst in
+  let view = Drain.view drain (Schedule.of_list [ (2, 0) ]) in
+  let expiries = Drain.expiries view in
+  Alcotest.(check bool) "sorted" true (List.sort compare expiries = expiries);
+  Alcotest.(check bool) "contains v5 horizon" true (List.mem 2 expiries)
+
+let suite =
+  ( "drain",
+    [
+      Alcotest.test_case "horizon algebra" `Quick test_horizon_algebra;
+      Alcotest.test_case "no schedule, flows forever" `Quick
+        test_unscheduled_flows_forever;
+      Alcotest.test_case "divert horizons after one flip" `Quick
+        test_divert_horizons;
+      Alcotest.test_case "horizons match the oracle" `Slow
+        test_drain_matches_oracle;
+      Alcotest.test_case "expiries" `Quick test_expiries;
+    ] )

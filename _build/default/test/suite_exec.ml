@@ -1,0 +1,76 @@
+open Chronus_sim
+open Chronus_exec
+
+(* A faster config so the integration tests stay quick. *)
+let config =
+  {
+    Exec_env.default with
+    Exec_env.warmup = Sim_time.sec 1;
+    drain = Sim_time.sec 2;
+    delay_unit = Sim_time.msec 20;
+  }
+
+let test_chronus_execution () =
+  let inst = Helpers.fig1 () in
+  let run = Timed_exec.run ~config inst in
+  Alcotest.(check bool) "clean schedule" true run.Timed_exec.clean;
+  let r = run.Timed_exec.result in
+  Alcotest.(check int) "no loss" 0 r.Exec_env.loss_bytes;
+  Alcotest.(check int) "no congested samples" 0 r.Exec_env.congested_samples;
+  Alcotest.(check bool) "peak at the flow rate" true
+    (r.Exec_env.peak_mbps <= config.Exec_env.capacity_mbps +. 0.01);
+  Alcotest.(check int) "one command per update" 5 r.Exec_env.commands;
+  Alcotest.(check bool) "span covers the schedule" true
+    (r.Exec_env.update_span
+    >= Chronus_flow.Schedule.max_time run.Timed_exec.schedule
+       * config.Exec_env.delay_unit)
+
+let test_or_execution () =
+  let inst = Helpers.fig1 () in
+  let run = Order_exec.run ~config ~seed:3 inst in
+  Alcotest.(check bool) "two rounds" true
+    (List.length run.Order_exec.rounds >= 2);
+  (* OR never loses traffic to loops on this instance (rounds are safe)
+     but is not guaranteed congestion-free; delivery continues. *)
+  let r = run.Order_exec.result in
+  Alcotest.(check int) "commands equal replaceable switches" 5
+    r.Exec_env.commands
+
+let test_tp_execution () =
+  let inst = Helpers.fig1 () in
+  let run = Two_phase_exec.run ~config inst in
+  let r = run.Two_phase_exec.result in
+  Alcotest.(check int) "five tagged rules installed" 5
+    run.Two_phase_exec.rules_installed;
+  Alcotest.(check int) "no loss" 0 r.Exec_env.loss_bytes;
+  (* Transition peak: 5 old + 5 new + ingress + destination host rule. *)
+  Alcotest.(check bool) "rule footprint doubles" true (r.Exec_env.peak_rules >= 10);
+  Alcotest.(check bool) "phases ordered" true
+    (run.Two_phase_exec.phase1_done < run.Two_phase_exec.phase2_done)
+
+let test_chronus_beats_tp_on_rules () =
+  let inst = Helpers.fig1 () in
+  let c = Timed_exec.run ~config inst in
+  let tp = Two_phase_exec.run ~config inst in
+  Alcotest.(check bool) "chronus uses fewer rules" true
+    (c.Timed_exec.result.Exec_env.peak_rules
+    < tp.Two_phase_exec.result.Exec_env.peak_rules)
+
+let test_determinism () =
+  let inst = Helpers.fig1 () in
+  let a = Order_exec.run ~config ~seed:5 inst in
+  let b = Order_exec.run ~config ~seed:5 inst in
+  Alcotest.(check bool) "same seed, same series" true
+    (a.Order_exec.result.Exec_env.series = b.Order_exec.result.Exec_env.series)
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "Chronus timed execution" `Quick
+        test_chronus_execution;
+      Alcotest.test_case "OR round execution" `Quick test_or_execution;
+      Alcotest.test_case "two-phase execution" `Quick test_tp_execution;
+      Alcotest.test_case "Chronus beats TP on rule space" `Quick
+        test_chronus_beats_tp_on_rules;
+      Alcotest.test_case "deterministic under a seed" `Quick test_determinism;
+    ] )

@@ -1,0 +1,116 @@
+open Chronus_sim
+open Chronus_flow
+open Chronus_exec
+
+let test_default_config () =
+  let c = Exec_env.default in
+  Alcotest.(check (float 0.001)) "5 Mbit/s links" 5.0 c.Exec_env.capacity_mbps;
+  Alcotest.(check (float 0.001)) "5 Mbit/s flow" 5.0 c.Exec_env.rate_mbps;
+  Alcotest.(check int) "1 s samples" (Sim_time.sec 1) c.Exec_env.sample;
+  let lo, hi = c.Exec_env.control_latency in
+  Alcotest.(check bool) "latency range ordered" true (lo < hi)
+
+let test_modify_of_update_mapping () =
+  let g = Helpers.unit_graph_of [ (0, 1); (1, 2); (2, 3); (0, 4); (4, 3) ] in
+  let inst =
+    Instance.create ~graph:g ~demand:1 ~p_init:[ 0; 1; 2; 3 ]
+      ~p_fin:[ 0; 4; 3 ]
+  in
+  let find v =
+    List.find (fun (u : Instance.update) -> u.Instance.switch = v)
+      (Instance.updates inst)
+  in
+  (match Exec_env.modify_of_update inst (find 0) with
+  | Controller.Modify { action; _ } ->
+      Alcotest.(check bool) "modify forwards to v4" true
+        (action.Flow_table.forward = Flow_table.Out 4)
+  | _ -> Alcotest.fail "v0 should be a Modify");
+  (match Exec_env.modify_of_update inst (find 4) with
+  | Controller.Install { action; dst; _ } ->
+      Alcotest.(check int) "install matches dst" 3 dst;
+      Alcotest.(check bool) "install forwards to v3" true
+        (action.Flow_table.forward = Flow_table.Out 3)
+  | _ -> Alcotest.fail "v4 should be an Install");
+  match Exec_env.modify_of_update inst (find 1) with
+  | Controller.Remove { dst; _ } -> Alcotest.(check int) "remove dst" 3 dst
+  | _ -> Alcotest.fail "v1 should be a Remove"
+
+let test_env_initial_rules () =
+  let inst = Helpers.fig1 () in
+  let env = Exec_env.build ~tag_initial:None inst in
+  (* One rule per old-path switch plus the destination's delivery rule. *)
+  Alcotest.(check int) "initial rules" 6
+    (Network.total_rules env.Exec_env.net);
+  List.iter
+    (fun v ->
+      match
+        Flow_table.lookup
+          (Network.table env.Exec_env.net v)
+          ~dst:(Instance.destination inst) ~tag:None
+      with
+      | Some rule ->
+          let expected =
+            match Instance.old_next inst v with
+            | Some w -> Flow_table.Out w
+            | None -> Flow_table.To_host
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "v%d forwards along the old path" v)
+            true
+            (rule.Flow_table.action.Flow_table.forward = expected)
+      | None -> Alcotest.failf "v%d has no rule" v)
+    inst.Instance.p_init
+
+let test_env_tagged_variant () =
+  let inst = Helpers.fig1 () in
+  let env = Exec_env.build ~tag_initial:(Some 1) inst in
+  let src = Instance.source inst in
+  (match
+     Flow_table.lookup
+       (Network.table env.Exec_env.net src)
+       ~dst:(Instance.destination inst) ~tag:None
+   with
+  | Some rule ->
+      Alcotest.(check (option int)) "ingress stamps tag 1" (Some 1)
+        rule.Flow_table.action.Flow_table.set_tag
+  | None -> Alcotest.fail "ingress rule missing");
+  (* Transit rules only match the stamped tag. *)
+  let transit = 3 in
+  Alcotest.(check bool) "untagged misses transit rule" true
+    (Flow_table.lookup
+       (Network.table env.Exec_env.net transit)
+       ~dst:(Instance.destination inst) ~tag:None
+    = None);
+  Alcotest.(check bool) "tag-1 matches transit rule" true
+    (Flow_table.lookup
+       (Network.table env.Exec_env.net transit)
+       ~dst:(Instance.destination inst) ~tag:(Some 1)
+    <> None)
+
+let test_update_start_and_links () =
+  let inst = Helpers.fig1 () in
+  let config =
+    { Exec_env.default with Exec_env.warmup = Sim_time.sec 2 }
+  in
+  let env = Exec_env.build ~config ~tag_initial:None inst in
+  Alcotest.(check int) "update starts at warmup" (Sim_time.sec 2)
+    (Exec_env.update_start env);
+  (* One simulated link per graph edge, with the scaled delay. *)
+  Alcotest.(check int) "links" 10 (List.length (Network.links env.Exec_env.net));
+  Alcotest.(check int) "delay scaled by unit"
+    config.Exec_env.delay_unit
+    (Network.link_delay env.Exec_env.net (1, 2))
+
+let suite =
+  ( "exec_env",
+    [
+      Alcotest.test_case "default config" `Quick test_default_config;
+      Alcotest.test_case "update-to-flow-mod mapping" `Quick
+        test_modify_of_update_mapping;
+      Alcotest.test_case "initial rules installed" `Quick
+        test_env_initial_rules;
+      Alcotest.test_case "tagged (two-phase) variant" `Quick
+        test_env_tagged_variant;
+      Alcotest.test_case "warmup and link scaling" `Quick
+        test_update_start_and_links;
+    ] )

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "chronus"
+    [
+      Suite_graph.suite;
+      Suite_path.suite;
+      Suite_traversal.suite;
+      Suite_instance.suite;
+      Suite_schedule.suite;
+      Suite_oracle.suite;
+      Suite_time_extended.suite;
+      Suite_drain.suite;
+      Suite_dependency.suite;
+      Suite_greedy.suite;
+      Suite_safety.suite;
+      Suite_tree.suite;
+      Suite_mutp.suite;
+      Suite_order_replacement.suite;
+      Suite_two_phase.suite;
+      Suite_opt.suite;
+      Suite_topology.suite;
+      Suite_scenario.suite;
+      Suite_stats.suite;
+      Suite_sim.suite;
+      Suite_exec_env.suite;
+      Suite_exec.suite;
+      Suite_experiments.suite;
+      Props.suite;
+    ]
