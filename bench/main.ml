@@ -3,40 +3,106 @@
    Part 1 regenerates every table and figure of the paper's evaluation
    (Table II, Figs. 6-11) at the `quick` scale and prints the same
    rows/series the paper reports — set CHRONUS_SCALE=paper in the
-   environment for the published scale.
+   environment for the published scale (CHRONUS_SCALE=tiny is the CI
+   smoke scale). When more than one domain is available (CHRONUS_JOBS,
+   else the recommended domain count) the suite is run twice — once
+   sequentially, once with the trial fan-out — the wall-clock of both
+   passes is reported, and the deterministic experiment rows of the two
+   passes are checked for equality.
 
-   Part 2 runs Bechamel micro-benchmarks over every algorithmic component:
-   the greedy scheduler (both engines), the dependency-relation and
-   loop-check primitives, the oracle, the time-extended network
-   construction, and the baselines. *)
+   Part 2 runs Bechamel micro-benchmarks over every algorithmic
+   component: the greedy scheduler (both engines), the
+   dependency-relation and loop-check primitives, the oracle, the
+   time-extended network construction, and the baselines.
+
+   Both parts also land in BENCH_results.json (schema documented in
+   EXPERIMENTS.md) so successive PRs can track the perf trajectory
+   mechanically. CHRONUS_BENCH=experiments|micro|all (default all)
+   selects the parts to run. *)
 
 open Bechamel
 module E = Chronus_experiments
+module Pool = Chronus_parallel.Pool
 open Chronus_flow
 open Chronus_core
 open Chronus_baselines
 open Chronus_topo
 
-let experiments scale =
+(* ------------------------------------------------------------------ *)
+(* Part 1: the experiment suite.                                       *)
+
+type suite = {
+  table2 : E.Table2.result;
+  fig6 : E.Fig6.result;
+  fig7 : E.Fig7.row list;
+  fig8 : E.Fig8.row list;
+  fig9 : E.Fig9.row list;
+  fig10 : E.Fig10.row list;
+  fig11 : E.Fig11.result;
+  ablation : E.Ablation.row list;
+  wall_s : float;  (** full part-1 wall clock *)
+  trial_wall_s : float;  (** the trial-parallel experiments only *)
+}
+
+(* Everything except Fig. 10's measured timings is a pure function of
+   (scale, seed), so the digest must match between a sequential and a
+   parallel pass bit for bit. *)
+let digest s =
+  Digest.string
+    (Marshal.to_string
+       (s.table2, s.fig6, s.fig7, s.fig8, s.fig9, s.fig11, s.ablation)
+       [])
+
+let run_suite ~jobs scale =
+  let now () = Unix.gettimeofday () in
+  let t0 = now () in
+  let table2 = E.Table2.run ~jobs () in
+  let fig6 = E.Fig6.run () in
+  let t1 = now () in
+  let fig7 = E.Fig7.run ~jobs ~scale () in
+  let fig8 = E.Fig8.run ~jobs ~scale () in
+  let fig9 = E.Fig9.run ~jobs ~scale () in
+  let fig11 = E.Fig11.run ~jobs ~scale () in
+  let ablation = E.Ablation.run ~jobs ~scale () in
+  let t2 = now () in
+  let fig10 = E.Fig10.run ~jobs ~scale () in
+  let t3 = now () in
+  {
+    table2;
+    fig6;
+    fig7;
+    fig8;
+    fig9;
+    fig10;
+    fig11;
+    ablation;
+    wall_s = t3 -. t0;
+    trial_wall_s = t2 -. t1;
+  }
+
+let print_suite s =
   let banner name =
     Printf.printf "\n================ %s ================\n%!" name
   in
   banner E.Table2.name;
-  E.Table2.print (E.Table2.run ());
+  E.Table2.print s.table2;
   banner E.Fig6.name;
-  E.Fig6.print (E.Fig6.run ());
+  E.Fig6.print s.fig6;
   banner E.Fig7.name;
-  E.Fig7.print (E.Fig7.run ~scale ());
+  E.Fig7.print s.fig7;
   banner E.Fig8.name;
-  E.Fig8.print (E.Fig8.run ~scale ());
+  E.Fig8.print s.fig8;
   banner E.Fig9.name;
-  E.Fig9.print (E.Fig9.run ~scale ());
+  E.Fig9.print s.fig9;
   banner E.Fig10.name;
-  E.Fig10.print (E.Fig10.run ~scale ());
+  E.Fig10.print s.fig10;
   banner E.Fig11.name;
-  E.Fig11.print (E.Fig11.run ~scale ());
+  E.Fig11.print s.fig11;
   banner E.Ablation.name;
-  E.Ablation.print (E.Ablation.run ~scale ())
+  E.Ablation.print s.ablation
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks.                                           *)
 
 (* Deterministic instances reused across benchmark iterations. *)
 let instance_of_size n =
@@ -150,14 +216,162 @@ let benchmarks () =
         else Printf.sprintf "%8.0f ns" nanos
       in
       Printf.printf "%-45s %16s\n" name human)
-    rows
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json: a tiny hand-rolled JSON emitter (the repo has no
+   JSON dependency and must not grow one).                             *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec emit b indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_nan f || Float.abs f = Float.infinity then
+          Buffer.add_string b "null"
+        else Buffer.add_string b (Printf.sprintf "%.6g" f)
+    | String s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s))
+    | Obj fields ->
+        let pad n = String.make n ' ' in
+        Buffer.add_string b "{";
+        List.iteri
+          (fun i (key, v) ->
+            if i > 0 then Buffer.add_string b ",";
+            Buffer.add_string b
+              (Printf.sprintf "\n%s\"%s\": " (pad (indent + 2)) (escape key));
+            emit b (indent + 2) v)
+          fields;
+        if fields <> [] then
+          Buffer.add_string b (Printf.sprintf "\n%s" (pad indent));
+        Buffer.add_string b "}"
+
+  let to_string t =
+    let b = Buffer.create 1024 in
+    emit b 0 t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+end
+
+let write_json ~path ~scale_name ~jobs ~experiments ~micro =
+  let experiments_json =
+    match experiments with
+    | None -> Json.Null
+    | Some (seq, par) ->
+        let speedup a b = if b > 0. then Json.Float (a /. b) else Json.Null in
+        let base =
+          [
+            ("wall_s_jobs1", Json.Float seq.wall_s);
+            ("trial_wall_s_jobs1", Json.Float seq.trial_wall_s);
+          ]
+        in
+        let parallel =
+          match par with
+          | None -> [ ("rows_identical", Json.Null) ]
+          | Some p ->
+              [
+                ("wall_s_jobsN", Json.Float p.wall_s);
+                ("trial_wall_s_jobsN", Json.Float p.trial_wall_s);
+                ("speedup", speedup seq.wall_s p.wall_s);
+                ("trial_speedup", speedup seq.trial_wall_s p.trial_wall_s);
+                ("rows_identical", Json.Bool (digest seq = digest p));
+              ]
+        in
+        Json.Obj (base @ parallel)
+  in
+  let micro_json =
+    match micro with
+    | None -> Json.Null
+    | Some rows ->
+        Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) rows)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "chronus-bench/1");
+        ("scale", Json.String scale_name);
+        ("jobs", Json.Int jobs);
+        ("experiments", experiments_json);
+        ("microbench_ns_per_run", micro_json);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let scale =
-    match Sys.getenv_opt "CHRONUS_SCALE" with
-    | Some preset -> E.Scale.parse preset
-    | None -> E.Scale.quick
+  let scale_name =
+    Option.value ~default:"quick" (Sys.getenv_opt "CHRONUS_SCALE")
   in
-  experiments scale;
-  benchmarks ();
+  let scale = E.Scale.parse scale_name in
+  let jobs = Pool.default_jobs () in
+  let part =
+    match Sys.getenv_opt "CHRONUS_BENCH" with
+    | None | Some "all" -> `All
+    | Some "experiments" -> `Experiments
+    | Some "micro" -> `Micro
+    | Some other ->
+        invalid_arg
+          (Printf.sprintf
+             "CHRONUS_BENCH must be experiments|micro|all, got %S" other)
+  in
+  let experiments =
+    match part with
+    | `Micro -> None
+    | `All | `Experiments ->
+        let seq = run_suite ~jobs:1 scale in
+        let par = if jobs > 1 then Some (run_suite ~jobs scale) else None in
+        (* The two passes print identical rows; show the suite once. *)
+        print_suite (Option.value ~default:seq par);
+        Printf.printf "\nexperiment suite wall clock: %.2f s at jobs=1"
+          seq.wall_s;
+        (match par with
+        | None -> print_newline ()
+        | Some p ->
+            Printf.printf ", %.2f s at jobs=%d (%.2fx; trial subset %.2fx)\n"
+              p.wall_s jobs (seq.wall_s /. p.wall_s)
+              (seq.trial_wall_s /. p.trial_wall_s);
+            if digest seq <> digest p then begin
+              Printf.eprintf
+                "ERROR: sequential and parallel experiment rows differ\n%!";
+              exit 1
+            end
+            else print_endline "sequential and parallel rows are identical");
+        Some (seq, par)
+  in
+  let micro =
+    match part with `Experiments -> None | `All | `Micro -> Some (benchmarks ())
+  in
+  let path =
+    Option.value ~default:"BENCH_results.json"
+      (Sys.getenv_opt "CHRONUS_BENCH_OUT")
+  in
+  write_json ~path ~scale_name ~jobs ~experiments ~micro;
   print_newline ()

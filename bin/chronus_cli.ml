@@ -8,8 +8,15 @@ open Chronus_core
 module E = Chronus_experiments
 
 let scale_arg =
-  let doc = "Experiment scale preset: quick or paper." in
+  let doc = "Experiment scale preset: tiny, quick or paper." in
   Arg.(value & opt string "quick" & info [ "scale" ] ~docv:"PRESET" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domains to fan experiment trials out over (default: $(b,CHRONUS_JOBS) \
+     or the recommended domain count). Rows are identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let seed_arg =
   let doc = "Random seed." in
@@ -86,17 +93,22 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, ablation, all.")
   in
-  let run which scale_name =
+  let run which scale_name jobs =
     let scale = E.Scale.parse scale_name in
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> Chronus_parallel.Pool.default_jobs ()
+    in
     let dispatch = function
-      | "table2" -> E.Table2.print (E.Table2.run ())
+      | "table2" -> E.Table2.print (E.Table2.run ~jobs ())
       | "fig6" -> E.Fig6.print (E.Fig6.run ())
-      | "fig7" -> E.Fig7.print (E.Fig7.run ~scale ())
-      | "fig8" -> E.Fig8.print (E.Fig8.run ~scale ())
-      | "fig9" -> E.Fig9.print (E.Fig9.run ~scale ())
-      | "fig10" -> E.Fig10.print (E.Fig10.run ~scale ())
-      | "fig11" -> E.Fig11.print (E.Fig11.run ~scale ())
-      | "ablation" -> E.Ablation.print (E.Ablation.run ~scale ())
+      | "fig7" -> E.Fig7.print (E.Fig7.run ~jobs ~scale ())
+      | "fig8" -> E.Fig8.print (E.Fig8.run ~jobs ~scale ())
+      | "fig9" -> E.Fig9.print (E.Fig9.run ~jobs ~scale ())
+      | "fig10" -> E.Fig10.print (E.Fig10.run ~jobs ~scale ())
+      | "fig11" -> E.Fig11.print (E.Fig11.run ~jobs ~scale ())
+      | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
     in
@@ -116,7 +128,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure of the paper's evaluation.")
-    Term.(const run $ which $ scale_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg)
 
 (* chronus demo *)
 let demo_cmd =

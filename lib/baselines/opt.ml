@@ -22,16 +22,225 @@ let violation_time = function
   | Oracle.Blackhole { time; _ } ->
       time
 
-let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint inst =
+(* The DFS core shared by the single-domain solver and the portfolio
+   workers. [tick] accounts a search node (and raises {!Out_of_budget});
+   [violated_by sched frontier] asks the oracle whether [sched] already
+   violates at or below time [frontier] — any such violation is
+   definitive, flips strictly later cannot influence flow behaviour that
+   early. *)
+let rec dfs ~inst ~tick ~violated_by t sched remaining bound =
+  tick ();
+  if remaining = [] then
+    if Oracle.is_consistent inst sched then Some sched else None
+  else if t >= bound then None
+  else if t = bound - 1 then begin
+    (* Last step inside the bound: everything left must flip now. *)
+    let sched' =
+      List.fold_left (fun s v -> Schedule.add v t s) sched remaining
+    in
+    if Oracle.is_consistent inst sched' then Some sched' else None
+  end
+  else
+    (* Choose the subset flipping at step [t]: binary DFS over the
+       remaining switches. Violations strictly below [t] kill a branch
+       during growth; violations at [t] are only final once the subset
+       is closed (a same-step flip can still cure them). *)
+    choose ~inst ~tick ~violated_by ~t ~bound sched [] remaining remaining
+
+and choose ~inst ~tick ~violated_by ~t ~bound sched_acc committed remaining
+    rest =
+  match rest with
+  | [] ->
+      if violated_by sched_acc t then None
+      else
+        dfs ~inst ~tick ~violated_by (t + 1) sched_acc
+          (List.filter (fun v -> not (List.mem v committed)) remaining)
+          bound
+  | v :: tl -> (
+      tick ();
+      let sched_v = Schedule.add v t sched_acc in
+      let included =
+        if violated_by sched_v (t - 1) then None
+        else
+          choose ~inst ~tick ~violated_by ~t ~bound sched_v (v :: committed)
+            remaining tl
+      in
+      match included with
+      | Some _ as found -> found
+      | None ->
+          choose ~inst ~tick ~violated_by ~t ~bound sched_acc committed
+            remaining tl)
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio mode: root-split branch and bound over [jobs] domains.
+
+   The first [k] inclusion/exclusion decisions of step 0 (does switch
+   [i] flip at time 0 or not?) span a partition of the schedule space
+   into [2^k] disjoint prefixes, dealt round-robin to the workers. Each
+   worker runs the same iterative deepening as the single-domain solver
+   but restricted to its prefixes, and the workers share
+
+   - the best incumbent (makespan, schedule) through an [Atomic]: a
+     worker never deepens to a bound that cannot beat the incumbent, so
+     one worker's find prunes everyone else's remaining bounds;
+   - the node budget through an [Atomic] counter, so the total explored
+     work respects [budget] no matter how it splits across domains.
+
+   A bound [m] is proven empty only once every prefix failed it, and
+   every worker visits all its prefixes in ascending-bound order, so
+   when the workers are done the incumbent is the global optimum —
+   unless the shared budget or the wall-clock deadline tripped, in
+   which case the incumbent (or the caller's hint) is reported
+   [Feasible], exactly like the single-domain fallback. *)
+
+type worker_verdict = Completed | Budget_hit
+
+let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
+  let all = Instance.switches_to_update inst in
+  let k =
+    let rec ceil_log2 acc = if 1 lsl acc >= jobs then acc else ceil_log2 (acc + 1) in
+    (* One extra split level gives each worker several prefixes to
+       balance wildly uneven subtree sizes; cap at 2^6 prefixes. *)
+    min (min (ceil_log2 0 + 1) 6) (List.length all)
+  in
+  let prefix_count = 1 lsl k in
+  let prefix_switches = Array.of_list (List.filteri (fun i _ -> i < k) all) in
+  let rest_switches = List.filteri (fun i _ -> i >= k) all in
+  let explored = Atomic.make 0 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let budget_hit = Atomic.make false in
+  let incumbent : (int * Schedule.t) option Atomic.t =
+    Atomic.make
+      (match hint with
+      | Some s when Schedule.makespan s <= upper -> Some (Schedule.makespan s, s)
+      | _ -> None)
+  in
+  let rec offer m sched =
+    let seen = Atomic.get incumbent in
+    let better = match seen with None -> true | Some (mi, _) -> m < mi in
+    if better && not (Atomic.compare_and_set incumbent seen (Some (m, sched)))
+    then offer m sched
+  in
+  let tick () =
+    let n = Atomic.fetch_and_add explored 1 in
+    if n >= budget then begin
+      Atomic.set budget_hit true;
+      raise Out_of_budget
+    end;
+    (* The deadline is wall-clock; sample it every few hundred nodes so
+       the check does not dominate the node cost. *)
+    if n land 0xff = 0 && Unix.gettimeofday () > deadline then begin
+      Atomic.set budget_hit true;
+      raise Out_of_budget
+    end;
+    if Atomic.get budget_hit then raise Out_of_budget
+  in
+  let violated_by sched frontier =
+    List.exists
+      (fun v -> violation_time v <= frontier)
+      (Oracle.evaluate inst sched).Oracle.violations
+  in
+  let search_prefix ~bound p =
+    if bound = 1 then
+      if p = prefix_count - 1 then begin
+        (* Makespan 1 means everything flips at step 0; only the
+           all-included prefix can express it. *)
+        tick ();
+        let sched =
+          List.fold_left (fun s v -> Schedule.add v 0 s) Schedule.empty all
+        in
+        if Oracle.is_consistent inst sched then Some sched else None
+      end
+      else None
+    else begin
+      let rec build i sched committed =
+        if i = k then
+          choose ~inst ~tick ~violated_by ~t:0 ~bound sched committed all
+            rest_switches
+        else begin
+          tick ();
+          if p land (1 lsl i) <> 0 then begin
+            let v = prefix_switches.(i) in
+            let sched_v = Schedule.add v 0 sched in
+            if violated_by sched_v (-1) then None
+            else build (i + 1) sched_v (v :: committed)
+          end
+          else build (i + 1) sched committed
+        end
+      in
+      build 0 Schedule.empty []
+    end
+  in
+  let worker w =
+    try
+      let m = ref lower in
+      let running = ref true in
+      while !running do
+        let cap =
+          match Atomic.get incumbent with
+          | Some (mi, _) -> min upper (mi - 1)
+          | None -> upper
+        in
+        if !m > cap then running := false
+        else begin
+          let found = ref None in
+          let p = ref w in
+          while !found = None && !p < prefix_count do
+            (match search_prefix ~bound:!m !p with
+            | Some sched -> found := Some sched
+            | None -> ());
+            p := !p + jobs
+          done;
+          match !found with
+          | Some sched ->
+              offer (Schedule.makespan sched) sched;
+              running := false
+          | None -> incr m
+        end
+      done;
+      Completed
+    with Out_of_budget -> Budget_hit
+  in
+  let verdicts =
+    Chronus_parallel.Pool.parallel_init ~jobs ~chunk:1 jobs worker
+  in
+  let complete = List.for_all (fun v -> v = Completed) verdicts in
+  let best = Atomic.get incumbent in
+  let outcome =
+    if complete then
+      match best with Some (_, sched) -> Optimal sched | None -> Infeasible
+    else
+      match best with
+      | Some (_, sched) -> Feasible sched
+      | None -> Unknown
+  in
+  (outcome, Atomic.get explored)
+
+(* ------------------------------------------------------------------ *)
+
+let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint ?(jobs = 1)
+    inst =
   let start = Sys.time () in
+  let wall_start = Unix.gettimeofday () in
   let explored = ref 0 in
-  let finish outcome =
+  let finish ?nodes outcome =
     let makespan =
       match outcome with
       | Optimal s | Feasible s -> Some (Schedule.makespan s)
       | Infeasible | Unknown -> None
     in
-    { outcome; makespan; nodes_explored = !explored; elapsed = Sys.time () -. start }
+    let elapsed =
+      (* Multi-domain runs burn processor time [jobs] times faster than
+         the wall; report what the caller actually waited. *)
+      if jobs <= 1 then Sys.time () -. start
+      else Unix.gettimeofday () -. wall_start
+    in
+    {
+      outcome;
+      makespan;
+      nodes_explored = Option.value ~default:!explored nodes;
+      elapsed;
+    }
   in
   if Instance.is_trivial inst then finish (Optimal Schedule.empty)
   else begin
@@ -53,83 +262,63 @@ let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint inst =
           | Greedy.Scheduled s -> Schedule.makespan s
           | Greedy.Infeasible _ -> Feasibility.default_horizon inst)
     in
-    let tick () =
-      incr explored;
-      if !explored > budget || Sys.time () -. start > timeout then
-        raise Out_of_budget
-    in
-    (* Any violation at or below the frontier step is definitive: flips
-       strictly later cannot influence flow behaviour that early. *)
-    let violated_by sched frontier =
-      List.exists
-        (fun v -> violation_time v <= frontier)
-        (Oracle.evaluate inst sched).Oracle.violations
-    in
-    let all = Instance.switches_to_update inst in
-    let rec dfs t sched remaining bound =
-      tick ();
-      if remaining = [] then
-        if Oracle.is_consistent inst sched then Some sched else None
-      else if t >= bound then None
-      else if t = bound - 1 then begin
-        (* Last step inside the bound: everything left must flip now. *)
-        let sched' =
-          List.fold_left (fun s v -> Schedule.add v t s) sched remaining
-        in
-        if Oracle.is_consistent inst sched' then Some sched' else None
-      end
-      else begin
-        (* Choose the subset flipping at step [t]: binary DFS over the
-           remaining switches. Violations strictly below [t] kill a branch
-           during growth; violations at [t] are only final once the subset
-           is closed (a same-step flip can still cure them). *)
-        let rec choose sched_acc committed rest =
-          match rest with
-          | [] ->
-              if violated_by sched_acc t then None
-              else
-                dfs (t + 1) sched_acc
-                  (List.filter (fun v -> not (List.mem v committed)) remaining)
-                  bound
-          | v :: tl -> (
-              tick ();
-              let sched_v = Schedule.add v t sched_acc in
-              let included =
-                if violated_by sched_v (t - 1) then None
-                else choose sched_v (v :: committed) tl
-              in
-              match included with
-              | Some _ as found -> found
-              | None -> choose sched_acc committed tl)
-        in
-        choose sched [] remaining
-      end
-    in
     let lower = max 1 (Mutp.lower_bound inst) in
-    let deepen () =
-      let rec at m =
-        if m > upper then None
-        else
-          match dfs 0 Schedule.empty all m with
-          | Some sched -> Some sched
-          | None -> at (m + 1)
+    if jobs > 1 then begin
+      let outcome, nodes =
+        solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst
       in
-      at lower
-    in
-    match deepen () with
-    | Some sched -> finish (Optimal sched)
-    | None -> finish Infeasible
-    | exception Out_of_budget -> (
-        (* Only fall back on work already done: forcing a fresh greedy run
-           here would defeat the budget. *)
-        match hint with
-        | Some s -> finish (Feasible s)
-        | None ->
+      let outcome =
+        match outcome with
+        | Unknown -> (
+            (* Only fall back on work already done, as below. *)
             if Lazy.is_val greedy_result then
               match Lazy.force greedy_result with
-              | Greedy.Scheduled s -> finish (Feasible s)
-              | Greedy.Infeasible _ -> finish Unknown
-            else finish Unknown)
+              | Greedy.Scheduled s -> Feasible s
+              | Greedy.Infeasible _ -> Unknown
+            else Unknown)
+        | o -> o
+      in
+      finish ~nodes outcome
+    end
+    else begin
+      let tick () =
+        incr explored;
+        if !explored > budget || Sys.time () -. start > timeout then
+          raise Out_of_budget
+      in
+      (* Any violation at or below the frontier step is definitive: flips
+         strictly later cannot influence flow behaviour that early. *)
+      let violated_by sched frontier =
+        List.exists
+          (fun v -> violation_time v <= frontier)
+          (Oracle.evaluate inst sched).Oracle.violations
+      in
+      let all = Instance.switches_to_update inst in
+      let deepen () =
+        let rec at m =
+          if m > upper then None
+          else
+            match dfs ~inst ~tick ~violated_by 0 Schedule.empty all m with
+            | Some sched -> Some sched
+            | None -> at (m + 1)
+        in
+        at lower
+      in
+      match deepen () with
+      | Some sched -> finish (Optimal sched)
+      | None -> finish Infeasible
+      | exception Out_of_budget -> (
+          (* Only fall back on work already done: forcing a fresh greedy
+             run here would defeat the budget. *)
+          match hint with
+          | Some s -> finish (Feasible s)
+          | None ->
+              if Lazy.is_val greedy_result then
+                match Lazy.force greedy_result with
+                | Greedy.Scheduled s -> finish (Feasible s)
+                | Greedy.Infeasible _ -> finish Unknown
+              else finish Unknown)
+    end
   end
 
 let makespan_of r = r.makespan

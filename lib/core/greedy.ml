@@ -18,10 +18,30 @@ let run_scheduler ~mode ~relax_congestion inst =
   let sched = ref Schedule.empty in
   let time = ref 0 in
   let steps = ref 0 and cands = ref 0 and waits = ref 0 in
+  (* The sorted remaining set is consulted on every fixpoint round;
+     re-sorting the hashtable fold each time made the scheduler quadratic
+     in the update count. Cache it and edit the cache on commit. *)
+  let remaining_cache = ref None in
   let remaining_list () =
-    Hashtbl.fold (fun v () acc -> v :: acc) remaining []
-    |> List.sort compare
+    match !remaining_cache with
+    | Some l -> l
+    | None ->
+        let l =
+          Hashtbl.fold (fun v () acc -> v :: acc) remaining []
+          |> List.sort compare
+        in
+        remaining_cache := Some l;
+        l
   in
+  let commit_remove v =
+    Hashtbl.remove remaining v;
+    remaining_cache :=
+      Option.map (List.filter (fun x -> x <> v)) !remaining_cache
+  in
+  (* Position of each switch on the final path, computed once: [p_fin] is
+     a simple path, so the table is a bijection. *)
+  let fin_pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace fin_pos v i) inst.Instance.p_fin;
   (* The redirected streams of the already-committed flips, traced under
      the rules currently in force, maintained incrementally: a fresh walk
      is added at each commit, walks whose recorded route crosses a newly
@@ -108,11 +128,7 @@ let run_scheduler ~mode ~relax_congestion inst =
        traffic — and only a bounded sample is assessed: the oracle call per
        candidate is what makes unbridled best-effort scheduling quadratic. *)
     let pos v =
-      let rec scan i = function
-        | [] -> -1
-        | x :: rest -> if x = v then i else scan (i + 1) rest
-      in
-      scan 0 inst.Instance.p_fin
+      match Hashtbl.find_opt fin_pos v with Some i -> i | None -> -1
     in
     let ordered =
       List.sort
@@ -138,7 +154,7 @@ let run_scheduler ~mode ~relax_congestion inst =
     match best with
     | Some (_, v) ->
         sched := Schedule.add v !time !sched;
-        Hashtbl.remove remaining v;
+        commit_remove v;
         true
     | None -> false
   in
@@ -152,7 +168,7 @@ let run_scheduler ~mode ~relax_congestion inst =
           && Safety.is_safe (check ~streams:!streams v)
         then begin
           sched := Schedule.add v !time !sched;
-          Hashtbl.remove remaining v;
+          commit_remove v;
           (match mode with
           | Exact -> ()
           | Analytic ->

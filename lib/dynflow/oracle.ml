@@ -125,12 +125,12 @@ let simulate ?(exhaustive = false) inst sched =
   (* A cohort injected at tau is pure iff tau + P_x < s_x for every
      scheduled old-path switch x. *)
   let tau_pure_max =
-    List.fold_left
-      (fun acc (x, s_x) ->
+    Schedule.fold
+      (fun x s_x acc ->
         match Hashtbl.find_opt prefixes x with
         | Some p -> min acc (s_x - p - 1)
         | None -> acc)
-      max_int (Schedule.to_list sched)
+      sched max_int
   in
   let tau_start =
     if tau_pure_max = max_int then tmax + 1
@@ -174,12 +174,12 @@ let simulate ?(exhaustive = false) inst sched =
   in
   note_offsets rep.visits;
   let tau_settled =
-    List.fold_left
-      (fun acc (x, s_x) ->
+    Schedule.fold
+      (fun x s_x acc ->
         match Hashtbl.find_opt stable_offsets x with
         | Some (offset, _) -> max acc (s_x - offset)
         | None -> acc)
-      min_int (Schedule.to_list sched)
+      sched min_int
   in
   let stable_from = max tau_settled tau_start in
   (* Does the stable stream enter link (u, v) at step t? Exactly the

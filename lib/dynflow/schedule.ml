@@ -43,7 +43,11 @@ let covers instance s =
 
 let restrict_to instance s =
   let keep = Instance.switches_to_update instance in
-  Imap.filter (fun v _ -> List.mem v keep) s
+  let keep_tbl = Hashtbl.create (List.length keep) in
+  List.iter (fun v -> Hashtbl.replace keep_tbl v ()) keep;
+  Imap.filter (fun v _ -> Hashtbl.mem keep_tbl v) s
+
+let fold f s init = Imap.fold f s init
 
 let shift delta s =
   Imap.map

@@ -45,6 +45,11 @@ val covers : Instance.t -> t -> bool
 val restrict_to : Instance.t -> t -> t
 (** Drop entries for switches the instance does not update. *)
 
+val fold : (Graph.node -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f s init] folds [f switch time] over the entries in increasing
+    switch order, without materialising an intermediate list — the
+    oracle folds over every candidate schedule it evaluates. *)
+
 val shift : int -> t -> t
 (** Add a constant to every time. @raise Invalid_argument if any time would
     become negative. *)

@@ -17,58 +17,66 @@ type row = {
 
 let name = "ablation-scheduler-engines"
 
-let run ?(scale = Scale.quick) () =
-  let rng = Rng.make (scale.Scale.seed + 9) in
+(* Everything one trial contributes to the aggregates: computed in
+   parallel, folded in index order afterwards. *)
+type trial = {
+  t_exact_ok : bool;
+  t_analytic_ok : bool;
+  t_agree : bool;
+  t_e_span : float option;
+  t_a_span : float option;
+  t_e_checks : float;
+  t_a_checks : float;
+  t_waits : float;
+}
+
+let run ?jobs ?(scale = Scale.quick) () =
   List.map
     (fun n ->
       let spec = Scenario.spec n in
-      let exact_ok = ref 0
-      and analytic_ok = ref 0
-      and agree = ref 0
-      and e_span = ref [] and a_span = ref []
-      and e_checks = ref [] and a_checks = ref []
-      and waits = ref [] in
-      for _ = 1 to scale.Scale.instances do
-        let inst = Scenario.mixed ~rng spec in
-        let e_out, e_stats =
-          Greedy.schedule_with_stats ~mode:Greedy.Exact inst
-        in
-        let a_out, a_stats =
-          Greedy.schedule_with_stats ~mode:Greedy.Analytic inst
-        in
-        e_checks := float_of_int e_stats.Greedy.candidates_checked :: !e_checks;
-        a_checks := float_of_int a_stats.Greedy.candidates_checked :: !a_checks;
-        waits := float_of_int e_stats.Greedy.waits :: !waits;
-        (match (e_out, a_out) with
-        | Greedy.Scheduled e, Greedy.Scheduled a ->
-            incr exact_ok;
-            incr analytic_ok;
-            incr agree;
-            e_span := float_of_int (Schedule.makespan e) :: !e_span;
-            a_span := float_of_int (Schedule.makespan a) :: !a_span
-        | Greedy.Scheduled e, Greedy.Infeasible _ ->
-            incr exact_ok;
-            e_span := float_of_int (Schedule.makespan e) :: !e_span
-        | Greedy.Infeasible _, Greedy.Scheduled a ->
-            incr analytic_ok;
-            a_span := float_of_int (Schedule.makespan a) :: !a_span
-        | Greedy.Infeasible _, Greedy.Infeasible _ -> incr agree)
-      done;
+      let trials =
+        Chronus_parallel.Pool.parallel_init ?jobs scale.Scale.instances
+          (fun i ->
+            let rng = Rng.derive scale.Scale.seed [ 99; n; i ] in
+            let inst = Scenario.mixed ~rng spec in
+            let e_out, e_stats =
+              Greedy.schedule_with_stats ~mode:Greedy.Exact inst
+            in
+            let a_out, a_stats =
+              Greedy.schedule_with_stats ~mode:Greedy.Analytic inst
+            in
+            let span = function
+              | Greedy.Scheduled s -> Some (float_of_int (Schedule.makespan s))
+              | Greedy.Infeasible _ -> None
+            in
+            {
+              t_exact_ok = span e_out <> None;
+              t_analytic_ok = span a_out <> None;
+              t_agree = (span e_out <> None) = (span a_out <> None);
+              t_e_span = span e_out;
+              t_a_span = span a_out;
+              t_e_checks = float_of_int e_stats.Greedy.candidates_checked;
+              t_a_checks = float_of_int a_stats.Greedy.candidates_checked;
+              t_waits = float_of_int e_stats.Greedy.waits;
+            })
+      in
+      let count f = List.length (List.filter f trials) in
       let mean = function
         | [] -> 0.
         | l -> Chronus_stats.Descriptive.mean l
       in
+      let mean_of f = mean (List.filter_map f trials) in
       {
         instances = scale.Scale.instances;
         switches = n;
-        exact_success = !exact_ok;
-        analytic_success = !analytic_ok;
-        agree = !agree;
-        exact_mean_makespan = mean !e_span;
-        analytic_mean_makespan = mean !a_span;
-        exact_mean_checks = mean !e_checks;
-        analytic_mean_checks = mean !a_checks;
-        mean_waits = mean !waits;
+        exact_success = count (fun t -> t.t_exact_ok);
+        analytic_success = count (fun t -> t.t_analytic_ok);
+        agree = count (fun t -> t.t_agree);
+        exact_mean_makespan = mean_of (fun t -> t.t_e_span);
+        analytic_mean_makespan = mean_of (fun t -> t.t_a_span);
+        exact_mean_checks = mean (List.map (fun t -> t.t_e_checks) trials);
+        analytic_mean_checks = mean (List.map (fun t -> t.t_a_checks) trials);
+        mean_waits = mean (List.map (fun t -> t.t_waits) trials);
       })
     scale.Scale.switch_counts
 

@@ -24,17 +24,25 @@ let time_it f =
   f ();
   Sys.time () -. start
 
-let run ?(scale = Scale.quick) () =
-  let rng = Rng.make (scale.Scale.seed + 3) in
+let run ?jobs ?(scale = Scale.quick) () =
   let cap = scale.Scale.baseline_cap in
+  (* Building the giant instances is parallel; the timing runs below stay
+     sequential so sibling domains cannot distort what the figure
+     measures. Each size draws from its own coordinate-derived stream. *)
+  let instances =
+    Chronus_parallel.Pool.parallel_map ?jobs
+      (fun n ->
+        (* Capacity 2d everywhere: transient merges always fit, so the
+           scale instances are schedulable and the figure times scheduling
+           work rather than infeasibility proofs (the paper's OPT would
+           not terminate on provably infeasible giants either). *)
+        let rng = Rng.derive scale.Scale.seed [ 10; n ] in
+        let spec = Scenario.spec ~capacity_choices:[ 2 ] n in
+        (n, Scenario.long_chain ~rng spec))
+      scale.Scale.big_switch_counts
+  in
   List.map
-    (fun n ->
-      (* Capacity 2d everywhere: transient merges always fit, so the
-         scale instances are schedulable and the figure times scheduling
-         work rather than infeasibility proofs (the paper's OPT would not
-         terminate on provably infeasible giants either). *)
-      let spec = Scenario.spec ~capacity_choices:[ 2 ] n in
-      let inst = Scenario.long_chain ~rng spec in
+    (fun (n, inst) ->
       let chronus =
         Seconds
           (time_it (fun () ->
@@ -61,7 +69,7 @@ let run ?(scale = Scale.quick) () =
         | _ -> Capped cap
       in
       { switches = n; updates = Instance.update_count inst; chronus; or_exact; opt })
-    scale.Scale.big_switch_counts
+    instances
 
 let print rows =
   let open Chronus_stats in

@@ -14,7 +14,11 @@ type row = {
   opt : timing;
 }
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?jobs:int -> ?scale:Scale.t -> unit -> row list
+(** [jobs] is the domain count for the trial fan-out (default
+    {!Chronus_parallel.Pool.default_jobs}); any value yields the same
+    rows. *)
+
 val print : row list -> unit
 val name : string
 val timing_to_string : timing -> string

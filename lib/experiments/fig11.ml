@@ -12,29 +12,33 @@ type result = {
 
 let name = "fig11-update-time-cdf"
 
-let run ?(scale = Scale.quick) ?(switches = 40) () =
-  let rng = Rng.make (scale.Scale.seed + 4) in
+let run ?jobs ?(scale = Scale.quick) ?(switches = 40) () =
   let spec = Scenario.spec switches in
-  let chronus_samples = ref [] and opt_samples = ref [] in
-  for _ = 1 to scale.Scale.instances do
-    let inst = Scenario.random_final ~rng spec in
-    let t = Trial.run ~scale ~rng inst in
-    (* The paper's CDF covers successful updates; infeasible instances
-       have no finite update time. *)
-    if t.Trial.chronus_clean then begin
-      chronus_samples := t.Trial.chronus_makespan :: !chronus_samples;
-      let opt_makespan =
+  let trials =
+    Chronus_parallel.Pool.parallel_init ?jobs scale.Scale.instances
+      (fun i ->
+        let rng = Rng.derive scale.Scale.seed [ 11; switches; i ] in
+        let inst = Scenario.random_final ~rng spec in
+        Trial.run ~scale ~rng inst)
+  in
+  (* The paper's CDF covers successful updates; infeasible instances
+     have no finite update time. *)
+  let clean = List.filter (fun t -> t.Trial.chronus_clean) trials in
+  let chronus_samples =
+    List.map (fun t -> t.Trial.chronus_makespan) clean
+  in
+  let opt_samples =
+    List.map
+      (fun t ->
         match t.Trial.opt_makespan with
         | Some m -> m
-        | None -> t.Trial.chronus_makespan
-      in
-      opt_samples := opt_makespan :: !opt_samples
-    end
-  done;
-  let chronus_samples =
-    match !chronus_samples with [] -> [ 0 ] | l -> l
+        | None -> t.Trial.chronus_makespan)
+      clean
   in
-  let opt_samples = match !opt_samples with [] -> [ 0 ] | l -> l in
+  let chronus_samples =
+    match chronus_samples with [] -> [ 0 ] | l -> l
+  in
+  let opt_samples = match opt_samples with [] -> [ 0 ] | l -> l in
   let chronus = Cdf.of_int_samples chronus_samples in
   let opt = Cdf.of_int_samples opt_samples in
   {

@@ -12,6 +12,10 @@ type result = {
   opt_median : float;
 }
 
-val run : ?scale:Scale.t -> ?switches:int -> unit -> result
+val run : ?jobs:int -> ?scale:Scale.t -> ?switches:int -> unit -> result
+(** [jobs] is the domain count for the trial fan-out (default
+    {!Chronus_parallel.Pool.default_jobs}); any value yields the same
+    result. *)
+
 val print : result -> unit
 val name : string

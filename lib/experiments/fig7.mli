@@ -12,6 +12,10 @@ type row = {
   or_congestion_pct : float;
 }
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?jobs:int -> ?scale:Scale.t -> unit -> row list
+(** [jobs] is the domain count for the trial fan-out (default
+    {!Chronus_parallel.Pool.default_jobs}); any value yields the same
+    rows. *)
+
 val print : row list -> unit
 val name : string

@@ -10,27 +10,29 @@ type row = {
 
 let name = "fig8-congested-links"
 
-let run ?(scale = Scale.quick) () =
-  let rng = Rng.make (scale.Scale.seed + 1) in
+let run ?jobs ?(scale = Scale.quick) () =
   List.map
     (fun n ->
       let spec = Scenario.spec n in
-      let chron = ref 0 and ord = ref 0 in
-      for _ = 1 to scale.Scale.instances do
-        let inst = Scenario.random_final ~rng spec in
-        let t = Trial.run ~with_opt:false ~scale ~rng inst in
-        chron := !chron + t.Trial.chronus_congested_links;
-        ord := !ord + t.Trial.or_congested_links
-      done;
+      let trials =
+        Chronus_parallel.Pool.parallel_init ?jobs scale.Scale.instances
+          (fun i ->
+            let rng = Rng.derive scale.Scale.seed [ 8; n; i ] in
+            let inst = Scenario.random_final ~rng spec in
+            Trial.run ~with_opt:false ~scale ~rng inst)
+      in
+      let total f = List.fold_left (fun acc t -> acc + f t) 0 trials in
+      let chron = total (fun t -> t.Trial.chronus_congested_links) in
+      let ord = total (fun t -> t.Trial.or_congested_links) in
       let reduction_pct =
-        if !ord = 0 then 0.
-        else 100. *. float_of_int (!ord - !chron) /. float_of_int !ord
+        if ord = 0 then 0.
+        else 100. *. float_of_int (ord - chron) /. float_of_int ord
       in
       {
         switches = n;
         instances = scale.Scale.instances;
-        chronus_congested = !chron;
-        or_congested = !ord;
+        chronus_congested = chron;
+        or_congested = ord;
         reduction_pct;
       })
     scale.Scale.switch_counts

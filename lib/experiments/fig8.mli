@@ -9,6 +9,10 @@ type row = {
   reduction_pct : float;  (** how many congested links Chronus avoids *)
 }
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?jobs:int -> ?scale:Scale.t -> unit -> row list
+(** [jobs] is the domain count for the trial fan-out (default
+    {!Chronus_parallel.Pool.default_jobs}); any value yields the same
+    rows. *)
+
 val print : row list -> unit
 val name : string

@@ -11,29 +11,28 @@ type row = {
 
 let name = "fig9-forwarding-rules"
 
-let run ?(scale = Scale.quick) () =
-  let rng = Rng.make (scale.Scale.seed + 2) in
+let run ?jobs ?(scale = Scale.quick) () =
   List.map
     (fun n ->
       let spec = Scenario.spec n in
-      let chronus_samples = ref [] and tp_samples = ref [] in
-      for _ = 1 to scale.Scale.instances do
-        let inst = Scenario.random_pair ~rng spec in
-        chronus_samples :=
-          Chronus_baselines.Two_phase.chronus_rule_count inst
-          :: !chronus_samples;
-        tp_samples :=
-          (Chronus_baselines.Two_phase.rule_count inst)
-            .Chronus_baselines.Two_phase.transition_peak
-          :: !tp_samples
-      done;
-      let chronus_mean =
-        Descriptive.mean (Descriptive.of_ints !chronus_samples)
+      let samples =
+        Chronus_parallel.Pool.parallel_init ?jobs scale.Scale.instances
+          (fun i ->
+            let rng = Rng.derive scale.Scale.seed [ 9; n; i ] in
+            let inst = Scenario.random_pair ~rng spec in
+            ( Chronus_baselines.Two_phase.chronus_rule_count inst,
+              (Chronus_baselines.Two_phase.rule_count inst)
+                .Chronus_baselines.Two_phase.transition_peak ))
       in
-      let tp_mean = Descriptive.mean (Descriptive.of_ints !tp_samples) in
+      let chronus_samples = List.map fst samples in
+      let tp_samples = List.map snd samples in
+      let chronus_mean =
+        Descriptive.mean (Descriptive.of_ints chronus_samples)
+      in
+      let tp_mean = Descriptive.mean (Descriptive.of_ints tp_samples) in
       {
         switches = n;
-        chronus = Boxplot.of_int_samples !chronus_samples;
+        chronus = Boxplot.of_int_samples chronus_samples;
         chronus_mean;
         tp_mean;
         saving_pct = 100. *. (tp_mean -. chronus_mean) /. tp_mean;

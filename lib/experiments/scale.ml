@@ -33,7 +33,20 @@ let paper =
     seed = 42;
   }
 
+let tiny =
+  {
+    instances = 4;
+    switch_counts = [ 6; 10 ];
+    big_switch_counts = [ 40 ];
+    opt_budget = 300;
+    opt_timeout = 0.1;
+    or_budget = 2_000;
+    baseline_cap = 0.5;
+    seed = 42;
+  }
+
 let parse = function
+  | "tiny" -> tiny
   | "quick" -> quick
   | "paper" -> paper
   | other -> invalid_arg (Printf.sprintf "Scale.parse: unknown preset %S" other)

@@ -17,6 +17,9 @@ type t = {
 val quick : t
 val paper : t
 
+val tiny : t
+(** Seconds-scale preset for CI smoke runs and the test suite. *)
+
 val parse : string -> t
-(** ["quick"] or ["paper"].
+(** ["tiny"], ["quick"] or ["paper"].
     @raise Invalid_argument otherwise. *)

@@ -30,12 +30,24 @@ let instance () =
 
 let dump table = Format.asprintf "%a" Flow_table.pp table
 
-let run () =
+(* Render the two switches' tables concurrently: each dump reads only
+   its own flow table, so the pair is safe to fan out. *)
+let dump_pair ?jobs net src dst =
+  match
+    Chronus_parallel.Pool.parallel_map ?jobs
+      (fun v -> dump (Network.table net v))
+      [ src; dst ]
+  with
+  | [ s; d ] -> (s, d)
+  | _ -> assert false
+
+let run ?jobs () =
   let inst = instance () in
   let env = Exec_env.build ~tag_initial:(Some 1) inst in
   let src = Instance.source inst and dst = Instance.destination inst in
-  let source_before = dump (Network.table env.Exec_env.net src) in
-  let destination_before = dump (Network.table env.Exec_env.net dst) in
+  let source_before, destination_before =
+    dump_pair ?jobs env.Exec_env.net src dst
+  in
   (* Mid two-phase transition: version-2 rules installed everywhere along
      the final path, ingress already stamping the new tag. *)
   List.iter
@@ -61,8 +73,9 @@ let run () =
            | Some w -> Flow_table.Out w
            | None -> assert false);
        });
-  let source_during = dump (Network.table env.Exec_env.net src) in
-  let destination_during = dump (Network.table env.Exec_env.net dst) in
+  let source_during, destination_during =
+    dump_pair ?jobs env.Exec_env.net src dst
+  in
   { source_before; source_during; destination_before; destination_during }
 
 let print r =

@@ -10,6 +10,6 @@ type result = {
   destination_during : string;
 }
 
-val run : unit -> result
+val run : ?jobs:int -> unit -> result
 val print : result -> unit
 val name : string

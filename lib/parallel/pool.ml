@@ -1,0 +1,83 @@
+let default_jobs () =
+  match Sys.getenv_opt "CHRONUS_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "CHRONUS_JOBS must be a positive integer, got %S" s))
+
+(* The first failure, with the position it occurred at: re-raising the
+   lowest-indexed exception keeps parallel failure reports deterministic
+   when several tasks die in the same run. *)
+type failure = { index : int; error : exn; trace : Printexc.raw_backtrace }
+
+let run_workers ~jobs ~chunk ~n (body : int -> unit) =
+  let cursor = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let failed : failure option Atomic.t = Atomic.make None in
+  let note_failure index error trace =
+    Atomic.set stop true;
+    let rec record () =
+      let seen = Atomic.get failed in
+      let better =
+        match seen with None -> true | Some f -> index < f.index
+      in
+      if better && not (Atomic.compare_and_set failed seen (Some { index; error; trace }))
+      then record ()
+    in
+    record ()
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let lo = Atomic.fetch_and_add cursor chunk in
+      if lo >= n || Atomic.get stop then continue := false
+      else
+        let hi = min n (lo + chunk) - 1 in
+        let i = ref lo in
+        while !i <= hi && not (Atomic.get stop) do
+          (try body !i
+           with e -> note_failure !i e (Printexc.get_raw_backtrace ()));
+          incr i
+        done
+    done
+  in
+  let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  match Atomic.get failed with
+  | Some { error; trace; _ } -> Printexc.raise_with_backtrace error trace
+  | None -> ()
+
+let parallel_init ?jobs ?(chunk = 1) n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if chunk < 1 then invalid_arg "Pool: chunk must be positive";
+  let jobs =
+    match jobs with Some j when j >= 1 -> j | Some _ -> 1 | None -> default_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.init n f
+  else begin
+    let out = Array.make n None in
+    run_workers ~jobs ~chunk ~n (fun i -> out.(i) <- Some (f i));
+    List.init n (fun i ->
+        match out.(i) with
+        | Some y -> y
+        | None -> assert false (* every index ran, or we re-raised above *))
+  end
+
+let parallel_mapi ?jobs ?chunk f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ ->
+      let inp = Array.of_list xs in
+      parallel_init ?jobs ?chunk (Array.length inp) (fun i -> f i inp.(i))
+
+let parallel_map ?jobs ?chunk f xs = parallel_mapi ?jobs ?chunk (fun _ x -> f x) xs
+
+let parallel_iter ?jobs ?chunk f xs =
+  ignore (parallel_map ?jobs ?chunk f xs)

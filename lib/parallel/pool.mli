@@ -1,0 +1,44 @@
+(** A dependency-free task pool over OCaml 5 domains.
+
+    The experiment harness fans independent seeded trials out across
+    domains; every function here preserves input order in its output, so
+    a parallel run is bit-identical to a sequential one as long as the
+    tasks themselves are independent (which per-trial RNG derivation
+    guarantees — see {!Chronus_topo.Rng.derive}).
+
+    Work is distributed dynamically: inputs are cut into chunks and
+    workers claim the next chunk from a shared atomic cursor, so a few
+    slow tasks (an [Opt.solve] hitting its timeout, say) do not idle the
+    other workers. If any task raises, no further chunks are started and
+    the first exception is re-raised in the calling domain.
+
+    With [jobs = 1] (or a single-element input) everything runs in the
+    calling domain with no spawns at all, so stack traces, printf
+    debugging and determinism-sensitive tests behave exactly as in
+    pre-multicore code. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: the [CHRONUS_JOBS]
+    environment variable when set (must be a positive integer, else
+    [Invalid_argument]), otherwise {!Domain.recommended_domain_count}. *)
+
+val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map f xs] is [List.map f xs] computed on [jobs] domains.
+    Output order matches input order regardless of completion order.
+    [chunk] is the number of consecutive inputs a worker claims at a
+    time (default 1 — right for expensive tasks like experiment trials;
+    raise it for many cheap tasks). *)
+
+val parallel_mapi :
+  ?jobs:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!parallel_map}, passing each element's input position. *)
+
+val parallel_iter : ?jobs:int -> ?chunk:int -> ('a -> unit) -> 'a list -> unit
+(** [parallel_iter f xs] runs [f] on every element for its effects.
+    Unlike [List.iter] there is no ordering guarantee between elements,
+    so [f] must only perform independent (or internally synchronised)
+    effects. *)
+
+val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a list
+(** [parallel_init n f] is [List.init n f] computed on [jobs] domains;
+    the idiom for fanning out [n] seeded trials. *)

@@ -2,6 +2,15 @@ type t = Random.State.t
 
 let make seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
 
+let derive seed lane =
+  (* A coordinate-addressed stream: the full (seed :: lane) path feeds
+     [Random.full_init]'s digest, so [derive s [7; n; i]] for nearby
+     [n]/[i] still yields uncorrelated generators. Unlike {!split}, no
+     parent state is consumed — any worker can rebuild trial [i]'s
+     stream from coordinates alone, in any order. *)
+  Random.State.make
+    (Array.of_list (seed :: 0x5eed :: (seed lxor 0x9e3779b9) :: lane))
+
 let split t =
   Random.State.make
     [| Random.State.bits t; Random.State.bits t; Random.State.bits t |]

@@ -6,6 +6,13 @@ type t
 val make : int -> t
 (** Independent generator from a seed. *)
 
+val derive : int -> int list -> t
+(** [derive seed lane] is an independent generator addressed by the
+    coordinate path [lane] under [seed] — e.g. [derive seed [7; n; i]]
+    for trial [i] of the [n]-switch cell of Fig. 7. Derivation reads no
+    shared state, so parallel workers can each rebuild exactly the
+    stream their trial would have seen sequentially. *)
+
 val split : t -> t
 (** A fresh generator derived from (and advancing) this one — use to give
     sub-experiments independent streams. *)

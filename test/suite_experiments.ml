@@ -1,17 +1,7 @@
 module E = Chronus_experiments
 
 (* Miniature scale so the full pipelines run in seconds. *)
-let tiny =
-  {
-    E.Scale.quick with
-    E.Scale.instances = 4;
-    switch_counts = [ 6; 10 ];
-    big_switch_counts = [ 40 ];
-    opt_budget = 300;
-    opt_timeout = 0.1;
-    or_budget = 2_000;
-    baseline_cap = 0.5;
-  }
+let tiny = E.Scale.tiny
 
 let test_scale_parse () =
   Alcotest.(check int) "quick instances" 10

@@ -1,0 +1,173 @@
+module Pool = Chronus_parallel.Pool
+module E = Chronus_experiments
+
+let square x = x * x
+
+let test_ordering () =
+  let input = List.init 100 (fun i -> i - 50) in
+  let expected = List.map square input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map order preserved at jobs=%d" jobs)
+        expected
+        (Pool.parallel_map ~jobs square input);
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunked map order preserved at jobs=%d" jobs)
+        expected
+        (Pool.parallel_map ~jobs ~chunk:7 square input))
+    [ 1; 2; 8 ]
+
+let test_init () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "init matches List.init at jobs=%d" jobs)
+        (List.init 33 square)
+        (Pool.parallel_init ~jobs 33 square))
+    [ 1; 2; 8 ]
+
+let test_mapi () =
+  Alcotest.(check (list int))
+    "mapi passes positions" [ 10; 21; 32 ]
+    (Pool.parallel_mapi ~jobs:2 (fun i x -> x + i) [ 10; 20; 30 ])
+
+let test_edge_inputs () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int)) "empty input" []
+        (Pool.parallel_map ~jobs square []);
+      Alcotest.(check (list int)) "singleton input" [ 49 ]
+        (Pool.parallel_map ~jobs square [ 7 ]);
+      Alcotest.(check (list int)) "zero-length init" []
+        (Pool.parallel_init ~jobs 0 square))
+    [ 1; 2; 8 ]
+
+let test_iter_runs_all () =
+  let hits = Atomic.make 0 in
+  Pool.parallel_iter ~jobs:4
+    (fun _ -> Atomic.incr hits)
+    (List.init 57 Fun.id);
+  Alcotest.(check int) "every element visited" 57 (Atomic.get hits)
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failure re-raised at jobs=%d" jobs)
+        (Failure "task-10")
+        (fun () ->
+          ignore
+            (Pool.parallel_map ~jobs
+               (fun i ->
+                 if i >= 10 then failwith (Printf.sprintf "task-%d" i) else i)
+               (List.init 100 Fun.id))))
+    [ 1; 2; 8 ]
+
+let test_exception_cancels () =
+  (* Once a task fails, no chunk past the failure should start: with the
+     failing task at position 0 and chunk 1, far fewer than all 200
+     tasks run before the pool drains. Can't assert an exact count —
+     workers legitimately finish chunks already claimed — but all-200
+     would mean cancellation never happened. *)
+  let started = Atomic.make 0 in
+  (try
+     Pool.parallel_iter ~jobs:2
+       (fun i ->
+         Atomic.incr started;
+         if i = 0 then failwith "early")
+       (List.init 200 Fun.id)
+   with Failure _ -> ());
+  Alcotest.(check bool) "later chunks cancelled" true
+    (Atomic.get started < 200)
+
+let test_jobs_env () =
+  let saved = Sys.getenv_opt "CHRONUS_JOBS" in
+  let restore () =
+    Unix.putenv "CHRONUS_JOBS" (Option.value ~default:"1" saved)
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "CHRONUS_JOBS" "3";
+      Alcotest.(check int) "CHRONUS_JOBS honoured" 3 (Pool.default_jobs ());
+      Unix.putenv "CHRONUS_JOBS" "0";
+      Alcotest.(check bool) "non-positive rejected" true
+        (match Pool.default_jobs () with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+(* The tentpole guarantee: fanning the experiment trials out across
+   domains changes nothing about the rows. *)
+let test_experiments_equal () =
+  let scale = E.Scale.tiny in
+  let fingerprint v = Digest.string (Marshal.to_string v []) in
+  let check name seq par =
+    Alcotest.(check string)
+      (name ^ " rows identical sequential vs parallel")
+      (fingerprint seq) (fingerprint par)
+  in
+  check "fig7" (E.Fig7.run ~jobs:1 ~scale ()) (E.Fig7.run ~jobs:4 ~scale ());
+  check "fig8" (E.Fig8.run ~jobs:1 ~scale ()) (E.Fig8.run ~jobs:4 ~scale ());
+  check "fig9" (E.Fig9.run ~jobs:1 ~scale ()) (E.Fig9.run ~jobs:4 ~scale ());
+  check "fig11"
+    (E.Fig11.run ~jobs:1 ~scale ())
+    (E.Fig11.run ~jobs:4 ~scale ());
+  check "ablation"
+    (E.Ablation.run ~jobs:1 ~scale ())
+    (E.Ablation.run ~jobs:4 ~scale ())
+
+let test_opt_portfolio () =
+  let inst = Helpers.fig1 () in
+  let seq = Chronus_baselines.Opt.solve ~budget:200_000 ~timeout:10.0 inst in
+  let par =
+    Chronus_baselines.Opt.solve ~budget:200_000 ~timeout:10.0 ~jobs:4 inst
+  in
+  let makespan r = Chronus_baselines.Opt.makespan_of r in
+  Alcotest.(check bool) "sequential proves optimal" true
+    (match seq.Chronus_baselines.Opt.outcome with
+    | Chronus_baselines.Opt.Optimal _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "portfolio proves optimal" true
+    (match par.Chronus_baselines.Opt.outcome with
+    | Chronus_baselines.Opt.Optimal _ -> true
+    | _ -> false);
+  Alcotest.(check (option int))
+    "same optimal makespan" (makespan seq) (makespan par)
+
+let test_opt_portfolio_budget () =
+  (* With a starved shared budget and a greedy hint, the portfolio must
+     degrade to [Feasible hint] exactly like the single-domain path. *)
+  let open Chronus_topo in
+  let rng = Rng.make 77 in
+  let inst = Scenario.random_final ~rng (Scenario.spec 14) in
+  match Chronus_core.Greedy.schedule inst with
+  | Chronus_core.Greedy.Infeasible _ -> ()
+  | Chronus_core.Greedy.Scheduled hint ->
+      let r =
+        Chronus_baselines.Opt.solve ~budget:3 ~timeout:10.0 ~hint ~jobs:4 inst
+      in
+      Alcotest.(check bool) "falls back to the hint" true
+        (match r.Chronus_baselines.Opt.outcome with
+        | Chronus_baselines.Opt.Feasible s ->
+            Chronus_flow.Schedule.equal s hint
+        | Chronus_baselines.Opt.Optimal _ ->
+            (* A tiny instance can be solved within even 3 nodes. *)
+            true
+        | _ -> false)
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "map ordering" `Quick test_ordering;
+      Alcotest.test_case "init" `Quick test_init;
+      Alcotest.test_case "mapi positions" `Quick test_mapi;
+      Alcotest.test_case "empty and singleton" `Quick test_edge_inputs;
+      Alcotest.test_case "iter visits all" `Quick test_iter_runs_all;
+      Alcotest.test_case "exception re-raised" `Quick test_exception_propagates;
+      Alcotest.test_case "exception cancels" `Quick test_exception_cancels;
+      Alcotest.test_case "CHRONUS_JOBS env" `Quick test_jobs_env;
+      Alcotest.test_case "experiments identical at any jobs" `Slow
+        test_experiments_equal;
+      Alcotest.test_case "opt portfolio optimality" `Quick test_opt_portfolio;
+      Alcotest.test_case "opt portfolio budget fallback" `Quick
+        test_opt_portfolio_budget;
+    ] )
