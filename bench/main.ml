@@ -23,6 +23,7 @@
 open Bechamel
 module E = Chronus_experiments
 module Pool = Chronus_parallel.Pool
+module Obs = Chronus_obs.Obs
 open Chronus_flow
 open Chronus_core
 open Chronus_baselines
@@ -42,6 +43,9 @@ type suite = {
   ablation : E.Ablation.row list;
   wall_s : float;  (** full part-1 wall clock *)
   trial_wall_s : float;  (** the trial-parallel experiments only *)
+  metrics : (string * Obs.snapshot) list;
+      (** per-figure observability deltas, in run order; excluded from
+          the determinism digest (metrics observe, never decide) *)
 }
 
 (* Everything except Fig. 10's measured timings is a pure function of
@@ -55,17 +59,28 @@ let digest s =
 
 let run_suite ~jobs scale =
   let now () = Unix.gettimeofday () in
+  let figure_metrics = ref [] in
+  (* Counters are cumulative across the whole process; per-figure views
+     are snapshot deltas taken around each figure's run. *)
+  let measured name f =
+    let before = Obs.snapshot () in
+    let r = f () in
+    figure_metrics := (name, Obs.diff before (Obs.snapshot ())) :: !figure_metrics;
+    r
+  in
   let t0 = now () in
-  let table2 = E.Table2.run ~jobs () in
-  let fig6 = E.Fig6.run () in
+  let table2 = measured E.Table2.name (fun () -> E.Table2.run ~jobs ()) in
+  let fig6 = measured E.Fig6.name (fun () -> E.Fig6.run ()) in
   let t1 = now () in
-  let fig7 = E.Fig7.run ~jobs ~scale () in
-  let fig8 = E.Fig8.run ~jobs ~scale () in
-  let fig9 = E.Fig9.run ~jobs ~scale () in
-  let fig11 = E.Fig11.run ~jobs ~scale () in
-  let ablation = E.Ablation.run ~jobs ~scale () in
+  let fig7 = measured E.Fig7.name (fun () -> E.Fig7.run ~jobs ~scale ()) in
+  let fig8 = measured E.Fig8.name (fun () -> E.Fig8.run ~jobs ~scale ()) in
+  let fig9 = measured E.Fig9.name (fun () -> E.Fig9.run ~jobs ~scale ()) in
+  let fig11 = measured E.Fig11.name (fun () -> E.Fig11.run ~jobs ~scale ()) in
+  let ablation =
+    measured E.Ablation.name (fun () -> E.Ablation.run ~jobs ~scale ())
+  in
   let t2 = now () in
-  let fig10 = E.Fig10.run ~jobs ~scale () in
+  let fig10 = measured E.Fig10.name (fun () -> E.Fig10.run ~jobs ~scale ()) in
   let t3 = now () in
   {
     table2;
@@ -78,28 +93,34 @@ let run_suite ~jobs scale =
     ablation;
     wall_s = t3 -. t0;
     trial_wall_s = t2 -. t1;
+    metrics = List.rev !figure_metrics;
   }
 
-let print_suite s =
+let print_suite ?(metrics = false) s =
   let banner name =
     Printf.printf "\n================ %s ================\n%!" name
   in
-  banner E.Table2.name;
-  E.Table2.print s.table2;
-  banner E.Fig6.name;
-  E.Fig6.print s.fig6;
-  banner E.Fig7.name;
-  E.Fig7.print s.fig7;
-  banner E.Fig8.name;
-  E.Fig8.print s.fig8;
-  banner E.Fig9.name;
-  E.Fig9.print s.fig9;
-  banner E.Fig10.name;
-  E.Fig10.print s.fig10;
-  banner E.Fig11.name;
-  E.Fig11.print s.fig11;
-  banner E.Ablation.name;
-  E.Ablation.print s.ablation
+  let print_metrics name =
+    if metrics then
+      match List.assoc_opt name s.metrics with
+      | None | Some [] -> ()
+      | Some snap ->
+          Printf.printf "\n-- metrics (%s) --\n" name;
+          Obs.print_table snap
+  in
+  let figure name print v =
+    banner name;
+    print v;
+    print_metrics name
+  in
+  figure E.Table2.name E.Table2.print s.table2;
+  figure E.Fig6.name E.Fig6.print s.fig6;
+  figure E.Fig7.name E.Fig7.print s.fig7;
+  figure E.Fig8.name E.Fig8.print s.fig8;
+  figure E.Fig9.name E.Fig9.print s.fig9;
+  figure E.Fig10.name E.Fig10.print s.fig10;
+  figure E.Fig11.name E.Fig11.print s.fig11;
+  figure E.Ablation.name E.Ablation.print s.ablation
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: micro-benchmarks.                                           *)
@@ -277,6 +298,24 @@ module Json = struct
     Buffer.contents b
 end
 
+(* The cumulative observability snapshot: counters/gauges as numbers,
+   spans as {count, total_ns, max_ns} objects (chronus-bench/2). *)
+let metrics_json () =
+  Json.Obj
+    (List.map
+       (fun (label, v) ->
+         match v with
+         | Obs.Counter n | Obs.Gauge n -> (label, Json.Int n)
+         | Obs.Span s ->
+             ( label,
+               Json.Obj
+                 [
+                   ("count", Json.Int s.Obs.Span.count);
+                   ("total_ns", Json.Int s.Obs.Span.total_ns);
+                   ("max_ns", Json.Int s.Obs.Span.max_ns);
+                 ] ))
+       (Obs.snapshot ()))
+
 let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let experiments_json =
     match experiments with
@@ -312,10 +351,11 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/1");
+        ("schema", Json.String "chronus-bench/2");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("experiments", experiments_json);
+        ("metrics", metrics_json ());
         ("microbench_ns_per_run", micro_json);
       ]
   in
@@ -342,6 +382,10 @@ let () =
           (Printf.sprintf
              "CHRONUS_BENCH must be experiments|micro|all, got %S" other)
   in
+  let metrics =
+    Array.exists (( = ) "--metrics") Sys.argv
+    || Sys.getenv_opt "CHRONUS_METRICS" <> None
+  in
   let experiments =
     match part with
     | `Micro -> None
@@ -349,7 +393,7 @@ let () =
         let seq = run_suite ~jobs:1 scale in
         let par = if jobs > 1 then Some (run_suite ~jobs scale) else None in
         (* The two passes print identical rows; show the suite once. *)
-        print_suite (Option.value ~default:seq par);
+        print_suite ~metrics (Option.value ~default:seq par);
         Printf.printf "\nexperiment suite wall clock: %.2f s at jobs=1"
           seq.wall_s;
         (match par with

@@ -11,6 +11,14 @@ let scale_arg =
   let doc = "Experiment scale preset: tiny, quick or paper." in
   Arg.(value & opt string "quick" & info [ "scale" ] ~docv:"PRESET" ~doc)
 
+let metrics_arg =
+  let doc =
+    "After each figure, print the per-label observability table (counters, \
+     gauges and span timers accumulated during the run — see \
+     OBSERVABILITY.md for the label vocabulary)."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Domains to fan experiment trials out over (default: $(b,CHRONUS_JOBS) \
@@ -93,14 +101,15 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, ablation, all.")
   in
-  let run which scale_name jobs =
+  let run which scale_name jobs metrics =
+    let module Obs = Chronus_obs.Obs in
     let scale = E.Scale.parse scale_name in
     let jobs =
       match jobs with
       | Some j -> j
       | None -> Chronus_parallel.Pool.default_jobs ()
     in
-    let dispatch = function
+    let plain = function
       | "table2" -> E.Table2.print (E.Table2.run ~jobs ())
       | "fig6" -> E.Fig6.print (E.Fig6.run ())
       | "fig7" -> E.Fig7.print (E.Fig7.run ~jobs ~scale ())
@@ -111,6 +120,18 @@ let experiment_cmd =
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
+    in
+    let dispatch which =
+      if not metrics then plain which
+      else begin
+        let before = Obs.snapshot () in
+        plain which;
+        match Obs.diff before (Obs.snapshot ()) with
+        | [] -> ()
+        | snap ->
+            Printf.printf "\n-- metrics (%s) --\n" which;
+            Obs.print_table snap
+      end
     in
     (match which with
     | "all" ->
@@ -128,7 +149,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure of the paper's evaluation.")
-    Term.(const run $ which $ scale_arg $ jobs_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg $ metrics_arg)
 
 (* chronus demo *)
 let demo_cmd =

@@ -1,5 +1,12 @@
 open Chronus_flow
 open Chronus_core
+module Obs = Chronus_obs.Obs
+
+let c_nodes = Obs.Counter.v "opt.nodes_expanded"
+let c_prunes = Obs.Counter.v "opt.prunes"
+let c_incumbent = Obs.Counter.v "opt.incumbent_improvements"
+let s_solve = Obs.Span.v "opt.solve"
+let p_worker = Obs.Point.v "opt.worker_done"
 
 type outcome =
   | Optimal of Schedule.t
@@ -28,6 +35,8 @@ let violation_time = function
    violates at or below time [frontier] — any such violation is
    definitive, flips strictly later cannot influence flow behaviour that
    early. *)
+let prune () = Obs.Counter.incr c_prunes
+
 let rec dfs ~inst ~tick ~violated_by t sched remaining bound =
   tick ();
   if remaining = [] then
@@ -51,7 +60,10 @@ and choose ~inst ~tick ~violated_by ~t ~bound sched_acc committed remaining
     rest =
   match rest with
   | [] ->
-      if violated_by sched_acc t then None
+      if violated_by sched_acc t then begin
+        prune ();
+        None
+      end
       else
         dfs ~inst ~tick ~violated_by (t + 1) sched_acc
           (List.filter (fun v -> not (List.mem v committed)) remaining)
@@ -60,7 +72,10 @@ and choose ~inst ~tick ~violated_by ~t ~bound sched_acc committed remaining
       tick ();
       let sched_v = Schedule.add v t sched_acc in
       let included =
-        if violated_by sched_v (t - 1) then None
+        if violated_by sched_v (t - 1) then begin
+          prune ();
+          None
+        end
         else
           choose ~inst ~tick ~violated_by ~t ~bound sched_v (v :: committed)
             remaining tl
@@ -118,10 +133,13 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
   let rec offer m sched =
     let seen = Atomic.get incumbent in
     let better = match seen with None -> true | Some (mi, _) -> m < mi in
-    if better && not (Atomic.compare_and_set incumbent seen (Some (m, sched)))
-    then offer m sched
+    if better then
+      if Atomic.compare_and_set incumbent seen (Some (m, sched)) then
+        Obs.Counter.incr c_incumbent
+      else offer m sched
   in
   let tick () =
+    Obs.Counter.incr c_nodes;
     let n = Atomic.fetch_and_add explored 1 in
     if n >= budget then begin
       Atomic.set budget_hit true;
@@ -140,7 +158,7 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
       (fun v -> violation_time v <= frontier)
       (Oracle.evaluate inst sched).Oracle.violations
   in
-  let search_prefix ~bound p =
+  let search_prefix ~tick ~bound p =
     if bound = 1 then
       if p = prefix_count - 1 then begin
         (* Makespan 1 means everything flips at step 0; only the
@@ -172,6 +190,26 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
     end
   in
   let worker w =
+    (* [nodes] is this worker's private share of the shared node count,
+       surfaced per portfolio domain through the trace sink. *)
+    let nodes = ref 0 in
+    let tick () =
+      incr nodes;
+      tick ()
+    in
+    let finish verdict =
+      Obs.Point.emit p_worker
+        [
+          ("worker", Obs.Point.Int w);
+          ("nodes", Obs.Point.Int !nodes);
+          ( "verdict",
+            Obs.Point.String
+              (match verdict with
+              | Completed -> "completed"
+              | Budget_hit -> "budget_hit") );
+        ];
+      verdict
+    in
     try
       let m = ref lower in
       let running = ref true in
@@ -186,7 +224,7 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
           let found = ref None in
           let p = ref w in
           while !found = None && !p < prefix_count do
-            (match search_prefix ~bound:!m !p with
+            (match search_prefix ~tick ~bound:!m !p with
             | Some sched -> found := Some sched
             | None -> ());
             p := !p + jobs
@@ -198,8 +236,8 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
           | None -> incr m
         end
       done;
-      Completed
-    with Out_of_budget -> Budget_hit
+      finish Completed
+    with Out_of_budget -> finish Budget_hit
   in
   let verdicts =
     Chronus_parallel.Pool.parallel_init ~jobs ~chunk:1 jobs worker
@@ -220,6 +258,7 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
 
 let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint ?(jobs = 1)
     inst =
+  Obs.Span.with_h s_solve @@ fun () ->
   let start = Sys.time () in
   let wall_start = Unix.gettimeofday () in
   let explored = ref 0 in
@@ -282,6 +321,7 @@ let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint ?(jobs = 1)
     end
     else begin
       let tick () =
+        Obs.Counter.incr c_nodes;
         incr explored;
         if !explored > budget || Sys.time () -. start > timeout then
           raise Out_of_budget
@@ -305,7 +345,9 @@ let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint ?(jobs = 1)
         at lower
       in
       match deepen () with
-      | Some sched -> finish (Optimal sched)
+      | Some sched ->
+          Obs.Counter.incr c_incumbent;
+          finish (Optimal sched)
       | None -> finish Infeasible
       | exception Out_of_budget -> (
           (* Only fall back on work already done: forcing a fresh greedy

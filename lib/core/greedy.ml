@@ -1,5 +1,16 @@
 open Chronus_graph
 open Chronus_flow
+module Obs = Chronus_obs.Obs
+
+(* Observability (see OBSERVABILITY.md): candidate evaluations count
+   every safety check of a (switch, step) pair; feasibility checks count
+   full dynamic-flow oracle evaluations, the expensive subset. Both only
+   observe — the scheduler's decisions never read them. *)
+let c_rounds = Obs.Counter.v "greedy.rounds"
+let c_cands = Obs.Counter.v "greedy.candidate_evals"
+let c_oracle = Obs.Counter.v "greedy.feasibility_checks"
+let s_schedule = Obs.Span.v "greedy.schedule"
+let s_round = Obs.Span.v "greedy.round"
 
 type mode = Exact | Analytic
 
@@ -10,6 +21,7 @@ type outcome =
 type stats = { steps_examined : int; candidates_checked : int; waits : int }
 
 let run_scheduler ~mode ~relax_congestion inst =
+  Obs.Span.with_h s_schedule @@ fun () ->
   let drain = Drain.make inst in
   let remaining = Hashtbl.create 16 in
   List.iter
@@ -91,6 +103,7 @@ let run_scheduler ~mode ~relax_congestion inst =
      mode it serves as a cheap pre-filter and only its Safe answers are
      confirmed against the oracle. *)
   let exact_check v =
+    Obs.Counter.incr c_oracle;
     let tentative = Schedule.add v !time !sched in
     let report = Oracle.evaluate inst tentative in
     match report.Oracle.violations with
@@ -105,6 +118,7 @@ let run_scheduler ~mode ~relax_congestion inst =
      a flip the oracle proves safe. In Analytic mode it is the decider. *)
   let check ~streams v =
     incr cands;
+    Obs.Counter.incr c_cands;
     match mode with
     | Exact -> exact_check v
     | Analytic -> Safety.analytic ~streams inst drain !sched ~time:!time v
@@ -115,6 +129,7 @@ let run_scheduler ~mode ~relax_congestion inst =
      refusing loops and blackholes. *)
   let forced_commit () =
     let assess v =
+      Obs.Counter.incr c_oracle;
       let tentative = Schedule.add v !time !sched in
       let report = Oracle.evaluate inst tentative in
       if
@@ -206,7 +221,8 @@ let run_scheduler ~mode ~relax_congestion inst =
       if Hashtbl.length remaining = 0 then Scheduled !sched
       else begin
         incr steps;
-        let progressed = commit_fixpoint () in
+        Obs.Counter.incr c_rounds;
+        let progressed = Obs.Span.with_h s_round commit_fixpoint in
         if Hashtbl.length remaining = 0 then Scheduled !sched
         else begin
           if not progressed then incr waits;
@@ -272,9 +288,13 @@ let run_scheduler ~mode ~relax_congestion inst =
 
 let rec schedule_with_stats ?(mode = Exact) ?(relax_congestion = false) inst =
   let result, stats = run_scheduler ~mode ~relax_congestion inst in
+  let validated sched =
+    Obs.Counter.incr c_oracle;
+    Oracle.is_consistent inst sched
+  in
   match (result, mode) with
   | Scheduled sched, Analytic
-    when (not relax_congestion) && not (Oracle.is_consistent inst sched) ->
+    when (not relax_congestion) && not (validated sched) ->
       (* The analytic checks approximate in-flight traffic on routes that
          flipped mid-journey; when the final validation catches such a
          miss, the oracle-gated engine redoes the work. Rare in practice

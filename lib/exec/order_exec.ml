@@ -2,6 +2,11 @@ open Chronus_sim
 open Chronus_graph
 open Chronus_flow
 open Chronus_baselines
+module Obs = Chronus_obs.Obs
+
+let c_installs = Obs.Counter.v "exec.rule_installs"
+let c_phases = Obs.Counter.v "exec.transition_phases"
+let s_run = Obs.Span.v "exec.order.run"
 
 type t = {
   result : Exec_env.result;
@@ -10,6 +15,7 @@ type t = {
 }
 
 let run ?config ?seed ?budget inst =
+  Obs.Span.with_h s_run @@ fun () ->
   let exact = Order_replacement.minimum_rounds ?budget inst in
   let rounds, optimal_rounds =
     match exact.Order_replacement.rounds with
@@ -31,8 +37,10 @@ let run ?config ?seed ?budget inst =
   let rec do_round = function
     | [] -> finished := Some (Engine.now engine)
     | round :: rest ->
+        Obs.Counter.incr c_phases;
         List.iter
           (fun v ->
+            Obs.Counter.incr c_installs;
             Controller.send env.Exec_env.controller ~switch:v (mod_for v))
           round;
         Controller.barrier_all env.Exec_env.controller ~switches:round

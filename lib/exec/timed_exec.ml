@@ -1,10 +1,15 @@
 open Chronus_sim
 open Chronus_flow
 open Chronus_core
+module Obs = Chronus_obs.Obs
+
+let c_installs = Obs.Counter.v "exec.rule_installs"
+let s_run = Obs.Span.v "exec.timed.run"
 
 type t = { result : Exec_env.result; schedule : Schedule.t; clean : bool }
 
 let run ?config ?seed ?mode inst =
+  Obs.Span.with_h s_run @@ fun () ->
   let { Fallback.schedule; clean } = Fallback.schedule ?mode inst in
   let env = Exec_env.build ?config ?seed ~tag_initial:None inst in
   let engine = Network.engine env.Exec_env.net in
@@ -19,6 +24,7 @@ let run ?config ?seed ?mode inst =
           match Schedule.find u.Instance.switch schedule with
           | None -> ()
           | Some step ->
+              Obs.Counter.incr c_installs;
               Controller.send env.Exec_env.controller
                 ~execute_at:(t0 + (step * cfg.Exec_env.delay_unit))
                 ~switch:u.Instance.switch

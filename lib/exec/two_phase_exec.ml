@@ -1,5 +1,11 @@
 open Chronus_sim
 open Chronus_flow
+module Obs = Chronus_obs.Obs
+
+let c_installs = Obs.Counter.v "exec.rule_installs"
+let c_phases = Obs.Counter.v "exec.transition_phases"
+let s_run = Obs.Span.v "exec.two_phase.run"
+let p_phase = Obs.Point.v "exec.two_phase.phase"
 
 type t = {
   result : Exec_env.result;
@@ -12,6 +18,7 @@ let old_tag = 1
 let new_tag = 2
 
 let run ?config ?seed inst =
+  Obs.Span.with_h s_run @@ fun () ->
   let env = Exec_env.build ?config ?seed ~tag_initial:(Some old_tag) inst in
   let engine = Network.engine env.Exec_env.net in
   let cfg = env.Exec_env.config in
@@ -33,6 +40,7 @@ let run ?config ?seed inst =
           | None -> ()
           | Some w ->
               incr rules_installed;
+              Obs.Counter.incr c_installs;
               Controller.send controller ~switch:v
                 (Controller.Install
                    {
@@ -45,6 +53,9 @@ let run ?config ?seed inst =
         fin_transit;
       Controller.barrier_all controller ~switches:fin_transit (fun at ->
           phase1_done := at;
+          Obs.Counter.incr c_phases;
+          Obs.Point.emit p_phase
+            [ ("phase", Obs.Point.Int 1); ("at_us", Obs.Point.Int at) ];
           Engine.at engine at (fun () ->
               (* Phase two: flip the ingress stamp; every packet from now
                  on carries tag 2 and follows the new rules. *)
@@ -53,6 +64,7 @@ let run ?config ?seed inst =
                 | Some w -> w
                 | None -> assert false
               in
+              Obs.Counter.incr c_installs;
               Controller.send controller ~switch:src
                 (Controller.Modify
                    {
@@ -66,6 +78,9 @@ let run ?config ?seed inst =
                    });
               Controller.barrier controller ~switch:src (fun at ->
                   phase2_done := at;
+                  Obs.Counter.incr c_phases;
+                  Obs.Point.emit p_phase
+                    [ ("phase", Obs.Point.Int 2); ("at_us", Obs.Point.Int at) ];
                   (* Old-tag packets drain within the old path's total
                      propagation time; then garbage-collect tag-1 rules. *)
                   let drain_time =

@@ -2,6 +2,9 @@ open Chronus_flow
 open Chronus_core
 open Chronus_baselines
 open Chronus_topo
+module Obs = Chronus_obs.Obs
+
+let s_run = Obs.Span.v "trial.run"
 
 type t = {
   inst : Instance.t;
@@ -22,6 +25,7 @@ type t = {
 let or_gap = 8
 
 let run ?(with_opt = true) ~scale ~rng inst =
+  Obs.Span.with_h s_run @@ fun () ->
   (* The polynomial engine is what the paper runs at scale; its results
      are still oracle-validated (Greedy re-derives in exact mode on the
      rare validation miss). *)

@@ -4,7 +4,7 @@
     domains; every function here preserves input order in its output, so
     a parallel run is bit-identical to a sequential one as long as the
     tasks themselves are independent (which per-trial RNG derivation
-    guarantees — see {!Chronus_topo.Rng.derive}).
+    guarantees — see [Chronus_topo.Rng.derive]).
 
     Work is distributed dynamically: inputs are cut into chunks and
     workers claim the next chunk from a shared atomic cursor, so a few
@@ -20,7 +20,7 @@
 val default_jobs : unit -> int
 (** Worker count used when [?jobs] is omitted: the [CHRONUS_JOBS]
     environment variable when set (must be a positive integer, else
-    [Invalid_argument]), otherwise {!Domain.recommended_domain_count}. *)
+    [Invalid_argument]), otherwise [Domain.recommended_domain_count ()]. *)
 
 val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map f xs] is [List.map f xs] computed on [jobs] domains.

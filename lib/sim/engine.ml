@@ -1,3 +1,8 @@
+module Obs = Chronus_obs.Obs
+
+let c_dispatched = Obs.Counter.v "sim.events_dispatched"
+let s_run = Obs.Span.v "sim.run"
+
 type t = { queue : Event_queue.t; mutable clock : Sim_time.t }
 
 let create () = { queue = Event_queue.create (); clock = 0 }
@@ -9,6 +14,7 @@ let at t time thunk = Event_queue.push t.queue ~time:(max time t.clock) thunk
 let after t delay thunk = at t (t.clock + max 0 delay) thunk
 
 let run ?until t =
+  Obs.Span.with_h s_run @@ fun () ->
   let continue = ref true in
   while !continue do
     match Event_queue.peek_time t.queue with
@@ -25,6 +31,7 @@ let run ?until t =
             | None -> continue := false
             | Some (time, thunk) ->
                 t.clock <- time;
+                Obs.Counter.incr c_dispatched;
                 thunk ()))
   done
 

@@ -2,10 +2,14 @@
     in the past fire immediately (at the current clock). *)
 
 type t
+(** One simulation engine: a monotone clock plus a pending-event queue. *)
 
 val create : unit -> t
+(** A fresh engine with the clock at time 0 and nothing pending. *)
 
 val now : t -> Sim_time.t
+(** The current simulated time: the timestamp of the last dispatched
+    event (0 before the first). *)
 
 val at : t -> Sim_time.t -> (unit -> unit) -> unit
 (** Schedule at an absolute time (clamped to [now] if earlier). *)
@@ -18,3 +22,4 @@ val run : ?until:Sim_time.t -> t -> unit
     would fire strictly after it (the clock then reads [until]). *)
 
 val pending : t -> int
+(** Number of events still queued. *)

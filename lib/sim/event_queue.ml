@@ -1,3 +1,10 @@
+module Obs = Chronus_obs.Obs
+
+(* High-water mark of the heap size: how deep a simulation's event
+   backlog gets. Observed on every push; reading the gauge never
+   influences the simulation. *)
+let g_high_water = Obs.Gauge.v "sim.queue_high_water"
+
 type entry = { time : Sim_time.t; seq : int; thunk : unit -> unit }
 
 type t = {
@@ -30,6 +37,7 @@ let push h ~time thunk =
   h.data.(h.size) <- { time; seq = h.next_seq; thunk };
   h.next_seq <- h.next_seq + 1;
   h.size <- h.size + 1;
+  Obs.Gauge.observe g_high_water h.size;
   let i = ref (h.size - 1) in
   while !i > 0 && earlier h.data.(!i) h.data.((!i - 1) / 2) do
     swap h !i ((!i - 1) / 2);

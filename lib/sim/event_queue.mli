@@ -2,10 +2,16 @@
     order, so simulations are deterministic. *)
 
 type t
+(** A mutable event queue; grows on demand. *)
 
 val create : unit -> t
+(** An empty queue. *)
+
 val is_empty : t -> bool
+(** [true] iff no event is pending. *)
+
 val size : t -> int
+(** Number of pending events. *)
 
 val push : t -> time:Sim_time.t -> (unit -> unit) -> unit
 (** Enqueue a thunk to fire at the given time. *)
@@ -14,3 +20,4 @@ val pop : t -> (Sim_time.t * (unit -> unit)) option
 (** Earliest event, [None] when empty. *)
 
 val peek_time : t -> Sim_time.t option
+(** Timestamp of the earliest event without removing it. *)

@@ -105,7 +105,19 @@ let test_experiments_equal () =
       (name ^ " rows identical sequential vs parallel")
       (fingerprint seq) (fingerprint par)
   in
-  check "fig7" (E.Fig7.run ~jobs:1 ~scale ()) (E.Fig7.run ~jobs:4 ~scale ());
+  let fig7_seq = E.Fig7.run ~jobs:1 ~scale () in
+  check "fig7" fig7_seq (E.Fig7.run ~jobs:4 ~scale ());
+  (* Metrics observe, never branch: a traced parallel run still matches
+     the untraced sequential fingerprint. *)
+  let module Obs = Chronus_obs.Obs in
+  let file = Filename.temp_file "chronus_parallel_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_path None;
+      Sys.remove file)
+    (fun () ->
+      Obs.Trace.set_path (Some file);
+      check "fig7 traced" fig7_seq (E.Fig7.run ~jobs:4 ~scale ()));
   check "fig8" (E.Fig8.run ~jobs:1 ~scale ()) (E.Fig8.run ~jobs:4 ~scale ());
   check "fig9" (E.Fig9.run ~jobs:1 ~scale ()) (E.Fig9.run ~jobs:4 ~scale ());
   check "fig11"
