@@ -183,6 +183,50 @@ let primitive_tests =
       (Staged.stage (fun () -> ignore (Tree.check fig1)));
   ]
 
+(* The incremental-checker primitives, on the same 200-switch chain the
+   [oracle-evaluate/200] benchmark uses so the probe cost reads directly
+   against the from-scratch cost it replaces. The base schedule holds the
+   last few greedy flips out; probes cycle through them (two or more
+   distinct probes, so the single-flip memo never short-circuits the
+   measurement). *)
+let oracle_incremental_tests =
+  let inst = instance_of_size 200 in
+  let sched =
+    match Greedy.schedule ~mode:Greedy.Analytic inst with
+    | Greedy.Scheduled s -> s
+    | Greedy.Infeasible { partial; _ } -> partial
+  in
+  let flips = Schedule.to_list sched in
+  let held = min 4 (List.length flips - 1) in
+  let cut = List.length flips - held in
+  let base =
+    List.filteri (fun i _ -> i < cut) flips
+    |> List.fold_left (fun s (v, t) -> Schedule.add v t s) Schedule.empty
+  in
+  let probes = Array.of_list (List.filteri (fun i _ -> i >= cut) flips) in
+  let ck = Oracle.Checker.create inst base in
+  let cursor = ref 0 in
+  let next () =
+    let p = probes.(!cursor mod Array.length probes) in
+    incr cursor;
+    p
+  in
+  if Array.length probes = 0 then []
+  else
+    [
+      Test.make ~name:"oracle-incremental/create/200"
+        (Staged.stage (fun () -> ignore (Oracle.Checker.create inst base)));
+      Test.make ~name:"oracle-incremental/probe/200"
+        (Staged.stage (fun () ->
+             let v, t = next () in
+             ignore (Oracle.Checker.probe ck v t)));
+      Test.make ~name:"oracle-incremental/push-pop/200"
+        (Staged.stage (fun () ->
+             let v, t = next () in
+             ignore (Oracle.Checker.push ck v t);
+             Oracle.Checker.pop ck));
+    ]
+
 let baseline_tests =
   let inst = instance_of_size 60 in
   [
@@ -202,7 +246,8 @@ let baseline_tests =
 let benchmarks () =
   let tests =
     Test.make_grouped ~name:"chronus"
-      (greedy_tests @ greedy_exact_tests @ primitive_tests @ baseline_tests)
+      (greedy_tests @ greedy_exact_tests @ primitive_tests
+      @ oracle_incremental_tests @ baseline_tests)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
@@ -299,7 +344,7 @@ module Json = struct
 end
 
 (* The cumulative observability snapshot: counters/gauges as numbers,
-   spans as {count, total_ns, max_ns} objects (chronus-bench/2). *)
+   spans as {count, total_ns, max_ns} objects (since chronus-bench/2). *)
 let metrics_json () =
   Json.Obj
     (List.map
@@ -315,6 +360,33 @@ let metrics_json () =
                    ("max_ns", Json.Int s.Obs.Span.max_ns);
                  ] ))
        (Obs.snapshot ()))
+
+(* chronus-bench/3: how hard the incremental oracle worked across the
+   whole run, plus the headline probes-per-second figure derived from the
+   micro pass (null when only experiments ran). *)
+let oracle_cache_json ~micro =
+  let snap = Obs.snapshot () in
+  let counter label =
+    match List.assoc_opt label snap with
+    | Some (Obs.Counter n) -> Json.Int n
+    | _ -> Json.Int 0
+  in
+  let probes_per_s =
+    match micro with
+    | None -> Json.Null
+    | Some rows -> (
+        match List.assoc_opt "chronus/oracle-incremental/probe/200" rows with
+        | Some ns when ns > 0. && not (Float.is_nan ns) ->
+            Json.Float (1e9 /. ns)
+        | _ -> Json.Null)
+  in
+  Json.Obj
+    [
+      ("cache_hits", counter "oracle.cache_hits");
+      ("cohorts_retraced", counter "oracle.cohorts_retraced");
+      ("full_evals", counter "oracle.full_evals");
+      ("probes_per_s", probes_per_s);
+    ]
 
 let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let experiments_json =
@@ -351,10 +423,11 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/2");
+        ("schema", Json.String "chronus-bench/3");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("experiments", experiments_json);
+        ("oracle_cache", oracle_cache_json ~micro);
         ("metrics", metrics_json ());
         ("microbench_ns_per_run", micro_json);
       ]

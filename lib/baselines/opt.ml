@@ -30,61 +30,83 @@ let violation_time = function
       time
 
 (* The DFS core shared by the single-domain solver and the portfolio
-   workers. [tick] accounts a search node (and raises {!Out_of_budget});
-   [violated_by sched frontier] asks the oracle whether [sched] already
-   violates at or below time [frontier] — any such violation is
-   definitive, flips strictly later cannot influence flow behaviour that
-   early. *)
+   workers. [tick] accounts a search node (and raises {!Out_of_budget}).
+   [ck] is an incremental oracle session whose base tracks the schedule
+   under construction — the search probes sibling subsets of the same
+   parent schedule, the checker's best case. A violation at or below a
+   frontier time is definitive: flips strictly later cannot influence
+   flow behaviour that early.
+
+   Every branch brackets its extension with [push]/[pop] on the normal
+   return path, so [ck]'s base equals [sched] at each entry. When [tick]
+   raises {!Out_of_budget} the unwinding skips the pops and the session
+   is left mid-branch — both catchers (the single-domain deepening and
+   the portfolio worker) abandon the checker entirely after catching, so
+   the dirty state is never observed. *)
 let prune () = Obs.Counter.incr c_prunes
 
-let rec dfs ~inst ~tick ~violated_by t sched remaining bound =
+let violated_below report frontier =
+  List.exists
+    (fun v -> violation_time v <= frontier)
+    report.Oracle.violations
+
+let rec dfs ~inst ~tick ~ck t sched remaining bound =
   tick ();
   if remaining = [] then
-    if Oracle.is_consistent inst sched then Some sched else None
+    if Schedule.covers inst sched && (Oracle.Checker.base_report ck).Oracle.ok
+    then Some sched
+    else None
   else if t >= bound then None
   else if t = bound - 1 then begin
     (* Last step inside the bound: everything left must flip now. *)
+    let adds = List.map (fun v -> (v, t)) remaining in
     let sched' =
-      List.fold_left (fun s v -> Schedule.add v t s) sched remaining
+      List.fold_left (fun s (v, t) -> Schedule.add v t s) sched adds
     in
-    if Oracle.is_consistent inst sched' then Some sched' else None
+    let report = Oracle.Checker.probe_list ck adds in
+    if Schedule.covers inst sched' && report.Oracle.ok then Some sched'
+    else None
   end
   else
     (* Choose the subset flipping at step [t]: binary DFS over the
        remaining switches. Violations strictly below [t] kill a branch
        during growth; violations at [t] are only final once the subset
        is closed (a same-step flip can still cure them). *)
-    choose ~inst ~tick ~violated_by ~t ~bound sched [] remaining remaining
+    choose ~inst ~tick ~ck ~t ~bound sched [] remaining remaining
 
-and choose ~inst ~tick ~violated_by ~t ~bound sched_acc committed remaining
-    rest =
+and choose ~inst ~tick ~ck ~t ~bound sched_acc committed remaining rest =
   match rest with
   | [] ->
-      if violated_by sched_acc t then begin
+      if violated_below (Oracle.Checker.base_report ck) t then begin
         prune ();
         None
       end
       else
-        dfs ~inst ~tick ~violated_by (t + 1) sched_acc
+        dfs ~inst ~tick ~ck (t + 1) sched_acc
           (List.filter (fun v -> not (List.mem v committed)) remaining)
           bound
   | v :: tl -> (
       tick ();
       let sched_v = Schedule.add v t sched_acc in
       let included =
-        if violated_by sched_v (t - 1) then begin
+        if violated_below (Oracle.Checker.probe ck v t) (t - 1) then begin
           prune ();
           None
         end
-        else
-          choose ~inst ~tick ~violated_by ~t ~bound sched_v (v :: committed)
-            remaining tl
+        else begin
+          ignore (Oracle.Checker.push ck v t);
+          let found =
+            choose ~inst ~tick ~ck ~t ~bound sched_v (v :: committed)
+              remaining tl
+          in
+          Oracle.Checker.pop ck;
+          found
+        end
       in
       match included with
       | Some _ as found -> found
       | None ->
-          choose ~inst ~tick ~violated_by ~t ~bound sched_acc committed
-            remaining tl)
+          choose ~inst ~tick ~ck ~t ~bound sched_acc committed remaining tl)
 
 (* ------------------------------------------------------------------ *)
 (* Portfolio mode: root-split branch and bound over [jobs] domains.
@@ -153,45 +175,59 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
     end;
     if Atomic.get budget_hit then raise Out_of_budget
   in
-  let violated_by sched frontier =
-    List.exists
-      (fun v -> violation_time v <= frontier)
-      (Oracle.evaluate inst sched).Oracle.violations
-  in
-  let search_prefix ~tick ~bound p =
+  let search_prefix ~tick ~ck ~bound p =
     if bound = 1 then
       if p = prefix_count - 1 then begin
         (* Makespan 1 means everything flips at step 0; only the
            all-included prefix can express it. *)
         tick ();
+        let adds = List.map (fun v -> (v, 0)) all in
         let sched =
-          List.fold_left (fun s v -> Schedule.add v 0 s) Schedule.empty all
+          List.fold_left (fun s (v, t) -> Schedule.add v t s) Schedule.empty
+            adds
         in
-        if Oracle.is_consistent inst sched then Some sched else None
+        let report = Oracle.Checker.probe_list ck adds in
+        if Schedule.covers inst sched && report.Oracle.ok then Some sched
+        else None
       end
       else None
     else begin
-      let rec build i sched committed =
+      (* Push the prefix's inclusion decisions onto the session, run the
+         shared DFS over the rest, then pop what was pushed. A branch cut
+         at depth [i] pops only its own pushes; {!Out_of_budget} escapes
+         without popping, and the worker abandons the session. *)
+      let rec build i sched committed pushed =
         if i = k then
-          choose ~inst ~tick ~violated_by ~t:0 ~bound sched committed all
-            rest_switches
+          ( choose ~inst ~tick ~ck ~t:0 ~bound sched committed all
+              rest_switches,
+            pushed )
         else begin
           tick ();
           if p land (1 lsl i) <> 0 then begin
             let v = prefix_switches.(i) in
             let sched_v = Schedule.add v 0 sched in
-            if violated_by sched_v (-1) then None
-            else build (i + 1) sched_v (v :: committed)
+            if violated_below (Oracle.Checker.probe ck v 0) (-1) then
+              (None, pushed)
+            else begin
+              ignore (Oracle.Checker.push ck v 0);
+              build (i + 1) sched_v (v :: committed) (pushed + 1)
+            end
           end
-          else build (i + 1) sched committed
+          else build (i + 1) sched committed pushed
         end
       in
-      build 0 Schedule.empty []
+      let found, pushed = build 0 Schedule.empty [] 0 in
+      for _ = 1 to pushed do
+        Oracle.Checker.pop ck
+      done;
+      found
     end
   in
   let worker w =
-    (* [nodes] is this worker's private share of the shared node count,
-       surfaced per portfolio domain through the trace sink. *)
+    (* Each portfolio domain runs its own oracle session (checker state is
+       single-domain); [nodes] is this worker's private share of the
+       shared node count, surfaced through the trace sink. *)
+    let ck = Oracle.Checker.create inst Schedule.empty in
     let nodes = ref 0 in
     let tick () =
       incr nodes;
@@ -224,7 +260,7 @@ let solve_portfolio ~jobs ~budget ~timeout ~upper ~lower ~hint inst =
           let found = ref None in
           let p = ref w in
           while !found = None && !p < prefix_count do
-            (match search_prefix ~tick ~bound:!m !p with
+            (match search_prefix ~tick ~ck ~bound:!m !p with
             | Some sched -> found := Some sched
             | None -> ());
             p := !p + jobs
@@ -326,19 +362,16 @@ let solve ?(budget = 500_000) ?(timeout = 60.0) ?horizon ?hint ?(jobs = 1)
         if !explored > budget || Sys.time () -. start > timeout then
           raise Out_of_budget
       in
-      (* Any violation at or below the frontier step is definitive: flips
-         strictly later cannot influence flow behaviour that early. *)
-      let violated_by sched frontier =
-        List.exists
-          (fun v -> violation_time v <= frontier)
-          (Oracle.evaluate inst sched).Oracle.violations
-      in
       let all = Instance.switches_to_update inst in
+      (* One oracle session spans the whole deepening: each bound's DFS
+         starts and (on a normal return) ends with the empty base, so the
+         session carries its cohort cache across bounds. *)
+      let ck = Oracle.Checker.create inst Schedule.empty in
       let deepen () =
         let rec at m =
           if m > upper then None
           else
-            match dfs ~inst ~tick ~violated_by 0 Schedule.empty all m with
+            match dfs ~inst ~tick ~ck 0 Schedule.empty all m with
             | Some sched -> Some sched
             | None -> at (m + 1)
         in

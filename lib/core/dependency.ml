@@ -49,40 +49,54 @@ let at inst drain sched ~remaining ~time =
   let members = Hashtbl.create 16 in
   List.iter (fun v -> Hashtbl.replace members v ()) remaining;
   let deps = relations inst drain sched ~remaining:members ~time in
-  (* Chains are the weakly-connected components of the dependency digraph,
-     listed in topological order; a cyclic component has no head. *)
-  let dep_graph = Graph.create () in
-  List.iter (fun v -> Graph.add_node dep_graph v) remaining;
-  List.iter (fun (x, y) -> Graph.add_edge dep_graph x y) deps;
-  let undirected = Graph.create () in
-  List.iter (fun v -> Graph.add_node undirected v) remaining;
-  List.iter
-    (fun (x, y) ->
-      Graph.add_edge undirected x y;
-      Graph.add_edge undirected y x)
-    deps;
-  let seen = Hashtbl.create 16 in
-  let chains = ref [] and cyclic = ref [] in
-  List.iter
-    (fun v ->
-      if not (Hashtbl.mem seen v) then begin
-        let component = Traversal.bfs_order undirected v in
-        List.iter (fun u -> Hashtbl.replace seen u ()) component;
-        let sub = Graph.create () in
-        List.iter (fun u -> Graph.add_node sub u) component;
-        List.iter
-          (fun (x, y) ->
-            if List.mem x component then Graph.add_edge sub x y)
-          deps;
-        match Cycle.topological_sort sub with
-        | Some order -> chains := order :: !chains
-        | None -> cyclic := List.sort compare component :: !cyclic
-      end)
-    (List.sort compare remaining);
-  {
-    chains = List.sort compare !chains;
-    cyclic = List.sort compare !cyclic;
-  }
+  match deps with
+  | [] ->
+      (* No relations at all: every switch is its own singleton chain. *)
+      {
+        chains = List.map (fun v -> [ v ]) (List.sort compare remaining);
+        cyclic = [];
+      }
+  | _ ->
+      (* Chains are the weakly-connected components of the dependency
+         digraph, listed in topological order; a cyclic component has no
+         head. Nodes no relation touches are singleton chains; only the
+         touched subgraph needs the component/topo machinery. *)
+      let touched = Hashtbl.create 16 in
+      List.iter
+        (fun (x, y) ->
+          Hashtbl.replace touched x ();
+          Hashtbl.replace touched y ())
+        deps;
+      let undirected = Graph.create () in
+      Hashtbl.iter (fun v () -> Graph.add_node undirected v) touched;
+      List.iter
+        (fun (x, y) ->
+          Graph.add_edge undirected x y;
+          Graph.add_edge undirected y x)
+        deps;
+      let seen = Hashtbl.create 16 in
+      let chains = ref [] and cyclic = ref [] in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem touched v) then chains := [ v ] :: !chains
+          else if not (Hashtbl.mem seen v) then begin
+            let component = Traversal.bfs_order undirected v in
+            List.iter (fun u -> Hashtbl.replace seen u ()) component;
+            let sub = Graph.create () in
+            List.iter (fun u -> Graph.add_node sub u) component;
+            List.iter
+              (fun (x, y) ->
+                if List.mem x component then Graph.add_edge sub x y)
+              deps;
+            match Cycle.topological_sort sub with
+            | Some order -> chains := order :: !chains
+            | None -> cyclic := List.sort compare component :: !cyclic
+          end)
+        (List.sort compare remaining);
+      {
+        chains = List.sort compare !chains;
+        cyclic = List.sort compare !cyclic;
+      }
 
 let heads t =
   List.filter_map (function [] -> None | v :: _ -> Some v) t.chains

@@ -29,6 +29,19 @@ let run_scheduler ~mode ~relax_congestion inst =
     (Instance.updates inst);
   let sched = ref Schedule.empty in
   let time = ref 0 in
+  (* In Exact mode every feasibility question goes through one incremental
+     oracle session whose base tracks [!sched]: candidate checks are probes
+     and commits promote the already-probed state, so consecutive checks
+     re-trace only the cohorts the candidate flip can affect. The final
+     [Scheduled !sched] is thereby validated for free — the checker's base
+     report is the oracle's verdict on exactly that schedule, and every
+     commit required it to be violation-free. Analytic mode never pays for
+     the session (its decisions are closed-form). *)
+  let checker =
+    match mode with
+    | Exact -> Some (Oracle.Checker.create inst Schedule.empty)
+    | Analytic -> None
+  in
   let steps = ref 0 and cands = ref 0 and waits = ref 0 in
   (* The sorted remaining set is consulted on every fixpoint round;
      re-sorting the hashtable fold each time made the scheduler quadratic
@@ -102,10 +115,9 @@ let run_scheduler ~mode ~relax_congestion inst =
   (* The analytic verdict is exact for the checks it performs, so in Exact
      mode it serves as a cheap pre-filter and only its Safe answers are
      confirmed against the oracle. *)
-  let exact_check v =
+  let exact_check ck v =
     Obs.Counter.incr c_oracle;
-    let tentative = Schedule.add v !time !sched in
-    let report = Oracle.evaluate inst tentative in
+    let report = Oracle.Checker.probe ck v !time in
     match report.Oracle.violations with
     | [] -> Safety.Safe
     | Oracle.Congestion { u; v = v'; time = s; _ } :: _ ->
@@ -119,19 +131,33 @@ let run_scheduler ~mode ~relax_congestion inst =
   let check ~streams v =
     incr cands;
     Obs.Counter.incr c_cands;
-    match mode with
-    | Exact -> exact_check v
-    | Analytic -> Safety.analytic ~streams inst drain !sched ~time:!time v
+    match checker with
+    | Some ck -> exact_check ck v
+    | None -> Safety.analytic ~streams inst drain !sched ~time:!time v
+  in
+  let commit_flip v =
+    sched := Schedule.add v !time !sched;
+    (* The commit promotes the candidate's own probe (memoised) into the
+       checker's new base — no extra oracle work. *)
+    Option.iter (fun ck -> ignore (Oracle.Checker.commit ck v !time)) checker;
+    commit_remove v
   in
   (* Best-effort mode ([relax_congestion], backing {!Fallback}): stay
      congestion-free for as long as possible; only once provably stuck,
      force the flip that overloads the fewest time-extended links, still
      refusing loops and blackholes. *)
   let forced_commit () =
+    (* Analytic mode has no long-lived session; a stuck step assesses a
+       dozen same-base candidates, which is exactly the probe pattern, so
+       open a throwaway session on the current partial schedule. *)
+    let ck =
+      match checker with
+      | Some ck -> ck
+      | None -> Oracle.Checker.create inst !sched
+    in
     let assess v =
       Obs.Counter.incr c_oracle;
-      let tentative = Schedule.add v !time !sched in
-      let report = Oracle.evaluate inst tentative in
+      let report = Oracle.Checker.probe ck v !time in
       if
         List.for_all
           (function Oracle.Congestion _ -> true | _ -> false)
@@ -168,8 +194,7 @@ let run_scheduler ~mode ~relax_congestion inst =
     in
     match best with
     | Some (_, v) ->
-        sched := Schedule.add v !time !sched;
-        commit_remove v;
+        commit_flip v;
         true
     | None -> false
   in
@@ -182,8 +207,7 @@ let run_scheduler ~mode ~relax_congestion inst =
           Hashtbl.mem remaining v
           && Safety.is_safe (check ~streams:!streams v)
         then begin
-          sched := Schedule.add v !time !sched;
-          commit_remove v;
+          commit_flip v;
           (match mode with
           | Exact -> ()
           | Analytic ->

@@ -1,10 +1,19 @@
 open Chronus_graph
 
+(* Node ids are ints; monomorphic hashing keeps the oracle's per-hop
+   lookups off the polymorphic-hash path. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 type memo = {
-  old_next_tbl : (Graph.node, Graph.node) Hashtbl.t;
-  new_next_tbl : (Graph.node, Graph.node) Hashtbl.t;
-  old_prev_tbl : (Graph.node, Graph.node) Hashtbl.t;
-  new_prev_tbl : (Graph.node, Graph.node) Hashtbl.t;
+  old_next_tbl : Graph.node Itbl.t;
+  new_next_tbl : Graph.node Itbl.t;
+  old_prev_tbl : Graph.node Itbl.t;
+  new_prev_tbl : Graph.node Itbl.t;
 }
 
 type t = {
@@ -49,12 +58,12 @@ let check_path g demand label p =
     (Path.edges p)
 
 let hop_tables p =
-  let next = Hashtbl.create (List.length p) in
-  let prev = Hashtbl.create (List.length p) in
+  let next = Itbl.create (List.length p) in
+  let prev = Itbl.create (List.length p) in
   List.iter
     (fun (u, v) ->
-      Hashtbl.replace next u v;
-      Hashtbl.replace prev v u)
+      Itbl.replace next u v;
+      Itbl.replace prev v u)
     (Path.edges p);
   (next, prev)
 
@@ -83,13 +92,13 @@ let source i = Path.source i.p_init
 
 let destination i = Path.destination i.p_init
 
-let old_next i v = Hashtbl.find_opt i.memo.old_next_tbl v
+let old_next i v = Itbl.find_opt i.memo.old_next_tbl v
 
-let new_next i v = Hashtbl.find_opt i.memo.new_next_tbl v
+let new_next i v = Itbl.find_opt i.memo.new_next_tbl v
 
-let old_prev i v = Hashtbl.find_opt i.memo.old_prev_tbl v
+let old_prev i v = Itbl.find_opt i.memo.old_prev_tbl v
 
-let new_prev i v = Hashtbl.find_opt i.memo.new_prev_tbl v
+let new_prev i v = Itbl.find_opt i.memo.new_prev_tbl v
 
 let updates i =
   let module Ints = Set.Make (Int) in

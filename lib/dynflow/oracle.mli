@@ -64,8 +64,67 @@ val trace_from : Instance.t -> Schedule.t -> Graph.node -> int -> cohort
     step [t] (its [injected] field is set to [t]). Used by the loop check
     of Algorithm 4 to examine the first redirected cohort. *)
 
+val compare_violation : violation -> violation -> int
+(** Structural order (same as polymorphic [compare], monomorphically). *)
+
 val evaluate : Instance.t -> Schedule.t -> report
 (** Full validation of a (possibly partial) schedule. *)
+
+(** The incremental engine: a session over one instance caching a base
+    schedule's evaluation — per-cohort traces, packed load entries, the
+    closed-form stream windows — plus a consult index from switches to
+    the cached cohorts whose routes read their rule. Probing
+    [Schedule.add v t base] re-traces only cohorts that can observe the
+    flip (those consulting [v] at arrival step >= t, plus cohorts newly
+    inside the probed schedule's widened window) and replays the rest
+    from cache.
+
+    The equivalence obligation: every probe's report is structurally
+    identical to [evaluate] on the probed schedule (all report fields are
+    order-canonical). [test/suite_oracle_incremental.ml] asserts this
+    differentially on randomized scenarios.
+
+    A checker is single-domain state; portfolio workers each build their
+    own. [commit] (no undo) and [push]/[pop] (bracketed, for DFS) must
+    not be interleaved: commits while frames are outstanding would make
+    [pop] restore a stale base. *)
+module Checker : sig
+  type t
+
+  val create : Instance.t -> Schedule.t -> t
+  (** Evaluate [sched] from scratch and cache it as the base. *)
+
+  val base : t -> Schedule.t
+
+  val base_report : t -> report
+  (** The cached report of the base schedule; free. *)
+
+  val probe : t -> Graph.node -> int -> report
+  (** [probe ck v t] is [evaluate inst (Schedule.add v t (base ck))],
+      incrementally. Does not change the base. The last single-flip probe
+      is memoised, so probe-then-[commit]/[push] of the same flip costs
+      one incremental evaluation, and repeating a probe is free.
+      @raise Invalid_argument as [Schedule.add] (scheduled switch,
+      negative time). *)
+
+  val probe_list : t -> (Graph.node * int) list -> report
+  (** Probe several flips added together (the B&B's last-step closure). *)
+
+  val commit : t -> Graph.node -> int -> report
+  (** Promote the probe of [(v, t)] into the new base and return its
+      report. *)
+
+  val push : t -> Graph.node -> int -> report
+  (** Like [commit], remembering the previous base for [pop]. *)
+
+  val pop : t -> unit
+  (** Restore the base saved by the matching [push].
+      @raise Invalid_argument without an outstanding [push]. *)
+
+  val rebase : t -> Schedule.t -> unit
+  (** Replace the base with a fresh from-scratch evaluation of an
+      arbitrary schedule, dropping all frames. *)
+end
 
 val is_consistent : Instance.t -> Schedule.t -> bool
 (** [true] iff the schedule covers every required switch and [evaluate]

@@ -15,7 +15,19 @@
     With [jobs = 1] (or a single-element input) everything runs in the
     calling domain with no spawns at all, so stack traces, printf
     debugging and determinism-sensitive tests behave exactly as in
-    pre-multicore code. *)
+    pre-multicore code.
+
+    Worker domains persist across bursts of batches: the first
+    multi-job call spawns them, and after each batch they linger
+    briefly for the next one, so a harness fanning out batch after
+    batch pays the domain-spawn cost once per burst rather than per
+    call. A worker idle past its grace window retires — an idle domain
+    still joins every stop-the-world rendezvous and would otherwise
+    tax all subsequent single-domain phases of the process. The pool
+    never grows past the largest [jobs] ever requested, never services
+    a batch with more domains than it asked for, and is joined at
+    exit. A nested call (a task that itself calls into the pool) falls
+    back to spawn-per-call execution instead of deadlocking. *)
 
 val default_jobs : unit -> int
 (** Worker count used when [?jobs] is omitted: the [CHRONUS_JOBS]
@@ -42,3 +54,9 @@ val parallel_iter : ?jobs:int -> ?chunk:int -> ('a -> unit) -> 'a list -> unit
 val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a list
 (** [parallel_init n f] is [List.init n f] computed on [jobs] domains;
     the idiom for fanning out [n] seeded trials. *)
+
+val spawned_domains : unit -> int
+(** Cumulative number of domains this module has ever spawned — pool
+    workers plus spawn-per-call fallbacks. Monotone over the process
+    lifetime; two equal readings around a batch prove the batch reused
+    lingering workers. Exposed for tests and diagnostics. *)

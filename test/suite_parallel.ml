@@ -81,6 +81,54 @@ let test_exception_cancels () =
   Alcotest.(check bool) "later chunks cancelled" true
     (Atomic.get started < 200)
 
+(* The pool is persistent: after a warm-up batch, further batches at the
+   same (or a smaller) job count must not spawn any new domain. *)
+let test_pool_reuse () =
+  let input = List.init 64 Fun.id in
+  let expected = List.map square input in
+  ignore (Pool.parallel_map ~jobs:3 square input);
+  let before = Pool.spawned_domains () in
+  for _ = 1 to 5 do
+    Alcotest.(check (list int))
+      "warm batch correct" expected
+      (Pool.parallel_map ~jobs:3 square input)
+  done;
+  Alcotest.(check int) "no new domains across batches" before
+    (Pool.spawned_domains ());
+  ignore (Pool.parallel_map ~jobs:2 square input);
+  Alcotest.(check int) "smaller batches reuse parked workers" before
+    (Pool.spawned_domains ())
+
+let test_pool_reuse_after_failure () =
+  ignore (Pool.parallel_map ~jobs:3 square (List.init 16 Fun.id));
+  let before = Pool.spawned_domains () in
+  (try
+     ignore
+       (Pool.parallel_map ~jobs:3
+          (fun _ -> failwith "boom")
+          (List.init 16 Fun.id))
+   with Failure _ -> ());
+  Alcotest.(check (list int))
+    "pool survives a failing batch"
+    (List.init 32 square)
+    (Pool.parallel_map ~jobs:3 square (List.init 32 Fun.id));
+  Alcotest.(check int) "no new domains after the failure" before
+    (Pool.spawned_domains ())
+
+(* A task that itself calls into the pool must not deadlock on the busy
+   pool: nested submissions take the spawn-per-call fallback. *)
+let test_nested_fallback () =
+  let expected = List.init 8 square in
+  let outer =
+    Pool.parallel_map ~jobs:2
+      (fun _ -> Pool.parallel_map ~jobs:2 square (List.init 8 Fun.id))
+      (List.init 4 Fun.id)
+  in
+  List.iter
+    (fun inner ->
+      Alcotest.(check (list int)) "nested map correct" expected inner)
+    outer
+
 let test_jobs_env () =
   let saved = Sys.getenv_opt "CHRONUS_JOBS" in
   let restore () =
@@ -176,6 +224,10 @@ let suite =
       Alcotest.test_case "iter visits all" `Quick test_iter_runs_all;
       Alcotest.test_case "exception re-raised" `Quick test_exception_propagates;
       Alcotest.test_case "exception cancels" `Quick test_exception_cancels;
+      Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+      Alcotest.test_case "pool reuse after failure" `Quick
+        test_pool_reuse_after_failure;
+      Alcotest.test_case "nested call falls back" `Quick test_nested_fallback;
       Alcotest.test_case "CHRONUS_JOBS env" `Quick test_jobs_env;
       Alcotest.test_case "experiments identical at any jobs" `Slow
         test_experiments_equal;
