@@ -40,6 +40,7 @@ type suite = {
   fig9 : E.Fig9.row list;
   fig10 : E.Fig10.row list;
   fig11 : E.Fig11.result;
+  robust : E.Fig_robust.row list;
   ablation : E.Ablation.row list;
   wall_s : float;  (** full part-1 wall clock *)
   trial_wall_s : float;  (** the trial-parallel experiments only *)
@@ -54,7 +55,7 @@ type suite = {
 let digest s =
   Digest.string
     (Marshal.to_string
-       (s.table2, s.fig6, s.fig7, s.fig8, s.fig9, s.fig11, s.ablation)
+       (s.table2, s.fig6, s.fig7, s.fig8, s.fig9, s.fig11, s.robust, s.ablation)
        [])
 
 let run_suite ~jobs scale =
@@ -76,6 +77,9 @@ let run_suite ~jobs scale =
   let fig8 = measured E.Fig8.name (fun () -> E.Fig8.run ~jobs ~scale ()) in
   let fig9 = measured E.Fig9.name (fun () -> E.Fig9.run ~jobs ~scale ()) in
   let fig11 = measured E.Fig11.name (fun () -> E.Fig11.run ~jobs ~scale ()) in
+  let robust =
+    measured E.Fig_robust.name (fun () -> E.Fig_robust.run ~jobs ~scale ())
+  in
   let ablation =
     measured E.Ablation.name (fun () -> E.Ablation.run ~jobs ~scale ())
   in
@@ -90,6 +94,7 @@ let run_suite ~jobs scale =
     fig9;
     fig10;
     fig11;
+    robust;
     ablation;
     wall_s = t3 -. t0;
     trial_wall_s = t2 -. t1;
@@ -120,6 +125,7 @@ let print_suite ?(metrics = false) s =
   figure E.Fig9.name E.Fig9.print s.fig9;
   figure E.Fig10.name E.Fig10.print s.fig10;
   figure E.Fig11.name E.Fig11.print s.fig11;
+  figure E.Fig_robust.name E.Fig_robust.print s.robust;
   figure E.Ablation.name E.Ablation.print s.ablation
 
 (* ------------------------------------------------------------------ *)
@@ -388,6 +394,34 @@ let oracle_cache_json ~micro =
       ("probes_per_s", probes_per_s);
     ]
 
+(* chronus-bench/4: fault-injection and recovery activity across the
+   whole run — every fault site plus the hardened timed executor's
+   retry/fallback counters and the monitor's online violation tallies.
+   Keys are always present (0 when a site never fired). *)
+let faults_json () =
+  let snap = Obs.snapshot () in
+  let counter label =
+    match List.assoc_opt label snap with
+    | Some (Obs.Counter n) -> Json.Int n
+    | _ -> Json.Int 0
+  in
+  Json.Obj
+    [
+      ("chan_lost", counter "faults.chan.lost");
+      ("chan_duplicated", counter "faults.chan.duplicated");
+      ("chan_delayed", counter "faults.chan.delayed");
+      ("chan_reordered", counter "faults.chan.reordered");
+      ("switch_rejected", counter "faults.switch.rejected");
+      ("switch_straggled", counter "faults.switch.straggled");
+      ("switch_crashed", counter "faults.switch.crashed");
+      ("clock_skewed_flips", counter "faults.clock.skewed_flips");
+      ("exec_retries", counter "exec.retries");
+      ("exec_fallbacks", counter "exec.fallbacks");
+      ("transient_loops", counter "monitor.transient_loops");
+      ("blackhole_drops", counter "monitor.blackhole_drops");
+      ("overload_samples", counter "monitor.overload_samples");
+    ]
+
 let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let experiments_json =
     match experiments with
@@ -423,11 +457,12 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/3");
+        ("schema", Json.String "chronus-bench/4");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("experiments", experiments_json);
         ("oracle_cache", oracle_cache_json ~micro);
+        ("faults", faults_json ());
         ("metrics", metrics_json ());
         ("microbench_ns_per_run", micro_json);
       ]

@@ -99,7 +99,7 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, ablation, all.")
+          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, ablation, all.")
   in
   let run which scale_name jobs metrics =
     let module Obs = Chronus_obs.Obs in
@@ -117,6 +117,7 @@ let experiment_cmd =
       | "fig9" -> E.Fig9.print (E.Fig9.run ~jobs ~scale ())
       | "fig10" -> E.Fig10.print (E.Fig10.run ~jobs ~scale ())
       | "fig11" -> E.Fig11.print (E.Fig11.run ~jobs ~scale ())
+      | "robust" -> E.Fig_robust.print (E.Fig_robust.run ~jobs ~scale ())
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
@@ -141,7 +142,7 @@ let experiment_cmd =
             print_newline ())
           [
             "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-            "ablation";
+            "robust"; "ablation";
           ]
     | w -> dispatch w);
     0
@@ -153,26 +154,62 @@ let experiment_cmd =
 
 (* chronus demo *)
 let demo_cmd =
-  let run seed =
+  let faults_arg =
+    let doc =
+      "Fault-injection preset applied to every executor: $(b,none), \
+       $(b,drift) (clock error only), $(b,lossy) (control-channel faults) \
+       or $(b,chaos) (everything, including switch failures)."
+    in
+    Arg.(value & opt string "none" & info [ "faults" ] ~docv:"PRESET" ~doc)
+  in
+  let clock_error_arg =
+    let doc =
+      "Override the per-switch clock offset and per-flip jitter bounds to \
+       this many milliseconds (composes with $(b,--faults))."
+    in
+    Arg.(value & opt int 0 & info [ "clock-error" ] ~docv:"MS" ~doc)
+  in
+  let run seed faults_name clock_error_ms =
+    let module Faults = Chronus_faults.Faults in
+    let faults =
+      let base = Faults.of_preset faults_name in
+      if clock_error_ms > 0 then
+        Faults.with_clock_error (Chronus_sim.Sim_time.msec clock_error_ms) base
+      else base
+    in
     let inst = Chronus_topo.Scenario.fig1_example () in
     Format.printf
-      "Running the paper's worked example (Figs. 1-3) on the simulator@.@.";
-    let c = Chronus_exec.Timed_exec.run ~seed inst in
-    let o = Chronus_exec.Order_exec.run ~seed inst in
+      "Running the paper's worked example (Figs. 1-3) on the simulator@.";
+    Format.printf "%a, clock error %d ms@.@." Faults.pp faults clock_error_ms;
+    let c = Chronus_exec.Timed_exec.run ~seed ~faults inst in
+    let o = Chronus_exec.Order_exec.run ~seed ~faults inst in
+    let violations (r : Chronus_exec.Exec_env.result) =
+      let v = r.Chronus_exec.Exec_env.violations in
+      v.Chronus_sim.Monitor.transient_loops
+      + v.Chronus_sim.Monitor.blackholes
+      + v.Chronus_sim.Monitor.overload_samples
+    in
     Format.printf
       "Chronus: schedule %a, peak %.2f Mbit/s, loss %d bytes@." Schedule.pp
       c.Chronus_exec.Timed_exec.schedule
       c.Chronus_exec.Timed_exec.result.Chronus_exec.Exec_env.peak_mbps
       c.Chronus_exec.Timed_exec.result.Chronus_exec.Exec_env.loss_bytes;
+    Format.printf
+      "         path %a, %d retries, %d unacked, %d violations@."
+      Chronus_exec.Timed_exec.pp_path c.Chronus_exec.Timed_exec.path
+      c.Chronus_exec.Timed_exec.retries c.Chronus_exec.Timed_exec.unacked
+      (violations c.Chronus_exec.Timed_exec.result);
     Format.printf "OR:      %d rounds, peak %.2f Mbit/s, loss %d bytes@."
       (List.length o.Chronus_exec.Order_exec.rounds)
       o.Chronus_exec.Order_exec.result.Chronus_exec.Exec_env.peak_mbps
       o.Chronus_exec.Order_exec.result.Chronus_exec.Exec_env.loss_bytes;
+    Format.printf "         %d violations@."
+      (violations o.Chronus_exec.Order_exec.result);
     0
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the worked example on the simulator.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ faults_arg $ clock_error_arg)
 
 (* chronus render *)
 let render_cmd =

@@ -2,6 +2,12 @@ open Chronus_sim
 open Chronus_graph
 open Chronus_flow
 open Chronus_topo
+module Faults = Chronus_faults.Faults
+module Obs = Chronus_obs.Obs
+
+(* Every rule-modification command from every executor flows through
+   [dispatch], so this is the one place the counter lives. *)
+let c_installs = Obs.Counter.v "exec.rule_installs"
 
 type config = {
   capacity_mbps : float;
@@ -33,9 +39,12 @@ type env = {
   rng : Rng.t;
   config : config;
   inst : Instance.t;
+  faults : Faults.Engine.t;
+  snapshots : (int, Flow_table.snapshot) Hashtbl.t;
 }
 
-let build ?(config = default) ?(seed = 1) ~tag_initial inst =
+let build ?(config = default) ?(seed = 1) ?(faults = Faults.zero) ~tag_initial
+    inst =
   let engine = Engine.create () in
   let net = Network.create engine in
   let rng = Rng.make seed in
@@ -87,7 +96,54 @@ let build ?(config = default) ?(seed = 1) ~tag_initial inst =
   Network.add_source net ~attach:src ~dst ~rate_mbps:config.rate_mbps
     ~chunk:config.chunk ~start:0
     ~stop:max_int ();
-  { net; controller; monitor; rng; config; inst }
+  (* The snapshot a crash-restarting switch reverts to is the initial
+     (installed) configuration — what a real switch persists. *)
+  let snapshots = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Hashtbl.replace snapshots v (Flow_table.snapshot (Network.table net v)))
+    (Network.switches net);
+  let faults = Faults.Engine.create ~seed faults in
+  { net; controller; monitor; rng; config; inst; faults; snapshots }
+
+let restore_switch env switch =
+  match Hashtbl.find_opt env.snapshots switch with
+  | Some s -> Flow_table.restore (Network.table env.net switch) s
+  | None -> ()
+
+let dispatch env ?execute_at ?on_ack ~switch mod_ =
+  Obs.Counter.incr c_installs;
+  let fate = Faults.Engine.command_fate env.faults ~switch in
+  (* A timed command executes when the switch's *local* clock reaches the
+     stamp, i.e. at [stamp + clock error] of true time. *)
+  let execute_at =
+    match execute_at with
+    | None -> None
+    | Some stamp ->
+        let err = Faults.Engine.clock_error env.faults ~switch ~at:stamp in
+        Some (max 0 (stamp + err))
+  in
+  let lat_lo, lat_hi = env.config.control_latency in
+  let forward () = Rng.in_range env.rng lat_lo lat_hi in
+  let handling =
+    if fate.Faults.lost then Controller.Lose
+    else if fate.Faults.crashed then
+      Controller.Crash (fun () -> restore_switch env switch)
+    else if fate.Faults.rejected then Controller.Reject
+    else Controller.Deliver
+  in
+  let ack =
+    match handling with Controller.Deliver -> on_ack | _ -> None
+  in
+  Controller.send env.controller ?execute_at
+    ~latency:(forward () + fate.Faults.extra_delay_us)
+    ~process_delay:fate.Faults.straggle_us ~handling ?ack ~switch mod_;
+  if fate.Faults.duplicated then
+    (* The copy arrives independently, later (it waits out one channel
+       extra-delay window) and is not counted as a controller command. *)
+    let cfg = (Faults.Engine.config env.faults).Faults.channel in
+    Controller.send env.controller ?execute_at
+      ~latency:(forward () + cfg.Faults.extra_delay_us)
+      ~counted:false ~switch mod_
 
 type result = {
   series : ((int * int) * Monitor.sample list) list;
@@ -98,6 +154,7 @@ type result = {
   loss_bytes : int;
   update_span : Sim_time.t;
   commands : int;
+  violations : Monitor.violations;
 }
 
 let update_start env = env.config.warmup
@@ -131,6 +188,7 @@ let finish env ~update_done =
     loss_bytes = stats.Network.dropped_no_rule + stats.Network.dropped_loop;
     update_span = max 0 (update_done - env.config.warmup);
     commands = Controller.commands_sent env.controller;
+    violations = Monitor.violations env.monitor;
   }
 
 let modify_of_update inst (u : Instance.update) =

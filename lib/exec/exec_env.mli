@@ -31,15 +31,43 @@ type env = {
   rng : Chronus_topo.Rng.t;
   config : config;
   inst : Instance.t;
+  faults : Chronus_faults.Faults.Engine.t;
+      (** the run's fault engine; a zero config is a provable no-op *)
+  snapshots : (int, Flow_table.snapshot) Hashtbl.t;
+      (** per-switch installed configuration, the crash-restart target *)
 }
 
-val build : ?config:config -> ?seed:int -> tag_initial:int option ->
-  Instance.t -> env
+val build :
+  ?config:config ->
+  ?seed:int ->
+  ?faults:Chronus_faults.Faults.config ->
+  tag_initial:int option ->
+  Instance.t ->
+  env
 (** Network with the instance's links, initial rules along [p_init]
     (matching [Tag v] and stamped at the ingress when [tag_initial] is
     [Some v] — the two-phase variant), a delivery rule at the destination,
     and the flow source scheduled from time 0 (the monitor starts with the
-    engine). *)
+    engine). [faults] (default {!Chronus_faults.Faults.zero}) configures
+    the fault engine, seeded from [seed] on its own coordinate lanes so
+    that enabling faults never perturbs workload randomness. *)
+
+val dispatch :
+  env ->
+  ?execute_at:Sim_time.t ->
+  ?on_ack:(Sim_time.t -> unit) ->
+  switch:int ->
+  Controller.flow_mod ->
+  unit
+(** The single injection point every executor sends rule modifications
+    through. One call: increments [exec.rule_installs], draws this
+    command's {!Chronus_faults.Faults.fate} and (for timed commands) the
+    switch's clock error, samples the forward control latency from the
+    env's RNG, and issues the command — possibly lost, delayed,
+    duplicated, rejected, straggling, or crashing the switch back to its
+    snapshot. [on_ack] fires when the switch's acknowledgement returns to
+    the controller; lost, rejected and crashed commands never ack, which
+    is what [Timed_exec]'s retry logic keys on. *)
 
 type result = {
   series : ((int * int) * Monitor.sample list) list;
@@ -51,6 +79,8 @@ type result = {
   loss_bytes : int;  (** blackholed + looped traffic *)
   update_span : Sim_time.t;  (** first command to last barrier reply *)
   commands : int;
+  violations : Monitor.violations;
+      (** online consistency violations: loops, blackholes, overloads *)
 }
 
 val finish : env -> update_done:Sim_time.t -> result

@@ -4,7 +4,6 @@ open Chronus_flow
 open Chronus_baselines
 module Obs = Chronus_obs.Obs
 
-let c_installs = Obs.Counter.v "exec.rule_installs"
 let c_phases = Obs.Counter.v "exec.transition_phases"
 let s_run = Obs.Span.v "exec.order.run"
 
@@ -14,7 +13,7 @@ type t = {
   optimal_rounds : bool;
 }
 
-let run ?config ?seed ?budget inst =
+let run ?config ?seed ?faults ?budget inst =
   Obs.Span.with_h s_run @@ fun () ->
   let exact = Order_replacement.minimum_rounds ?budget inst in
   let rounds, optimal_rounds =
@@ -25,7 +24,7 @@ let run ?config ?seed ?budget inst =
         | Some r -> (r, false)
         | None -> ([ Order_replacement.replaceable_switches inst ], false))
   in
-  let env = Exec_env.build ?config ?seed ~tag_initial:None inst in
+  let env = Exec_env.build ?config ?seed ?faults ~tag_initial:None inst in
   let engine = Network.engine env.Exec_env.net in
   let t0 = Exec_env.update_start env in
   let finished = ref None in
@@ -39,9 +38,7 @@ let run ?config ?seed ?budget inst =
     | round :: rest ->
         Obs.Counter.incr c_phases;
         List.iter
-          (fun v ->
-            Obs.Counter.incr c_installs;
-            Controller.send env.Exec_env.controller ~switch:v (mod_for v))
+          (fun v -> Exec_env.dispatch env ~switch:v (mod_for v))
           round;
         Controller.barrier_all env.Exec_env.controller ~switches:round
           (fun at -> Engine.at engine at (fun () -> do_round rest))

@@ -15,8 +15,11 @@ type t = {
 val run :
   ?config:Exec_env.config ->
   ?seed:int ->
+  ?faults:Chronus_faults.Faults.config ->
   ?budget:int ->
   Chronus_flow.Instance.t ->
   t
 (** [budget] bounds the exact minimum-round search; on exhaustion the
-    greedy rounds run instead. *)
+    greedy rounds run instead. [faults] configures fault injection on
+    the command path (default: none); OR has no recovery mechanism, so
+    lost or rejected commands simply leave stale rules behind. *)

@@ -3,44 +3,167 @@ open Chronus_flow
 open Chronus_core
 module Obs = Chronus_obs.Obs
 
-let c_installs = Obs.Counter.v "exec.rule_installs"
 let s_run = Obs.Span.v "exec.timed.run"
+let c_retries = Obs.Counter.v "exec.retries"
+let c_fallbacks = Obs.Counter.v "exec.fallbacks"
 
-type t = { result : Exec_env.result; schedule : Schedule.t; clean : bool }
+type path = Timed | Two_phase_fallback
 
-let run ?config ?seed ?mode inst =
+let pp_path ppf = function
+  | Timed -> Format.pp_print_string ppf "timed"
+  | Two_phase_fallback -> Format.pp_print_string ppf "two-phase-fallback"
+
+type retry = {
+  ack_timeout : Sim_time.t;
+  backoff : Sim_time.t;
+  max_retries : int;
+  deadline_slack : Sim_time.t;
+}
+
+let default_retry =
+  {
+    ack_timeout = Sim_time.msec 200;
+    backoff = Sim_time.msec 100;
+    max_retries = 3;
+    deadline_slack = Sim_time.sec 1;
+  }
+
+type t = {
+  result : Exec_env.result;
+  schedule : Schedule.t;
+  clean : bool;
+  path : path;
+  retries : int;
+  unacked : int;
+}
+
+(* The version tag of the emergency two-phase fallback. Timed runs build
+   untagged environments, so tag-9 rules are inert until the ingress
+   starts stamping. *)
+let fallback_tag = 9
+
+let run ?config ?seed ?mode ?faults ?(retry = default_retry) inst =
   Obs.Span.with_h s_run @@ fun () ->
   let { Fallback.schedule; clean } = Fallback.schedule ?mode inst in
-  let env = Exec_env.build ?config ?seed ~tag_initial:None inst in
+  let env = Exec_env.build ?config ?seed ?faults ~tag_initial:None inst in
   let engine = Network.engine env.Exec_env.net in
   let cfg = env.Exec_env.config in
   let t0 = Exec_env.update_start env in
-  let dispatch = max 0 (t0 - Sim_time.msec 500) in
+  let dispatch_at = max 0 (t0 - Sim_time.msec 500) in
+  let timed =
+    List.filter_map
+      (fun (u : Instance.update) ->
+        Option.map
+          (fun step -> (u, step))
+          (Schedule.find u.Instance.switch schedule))
+      (Instance.updates inst)
+  in
   let finished = ref None in
-  Engine.at engine dispatch (fun () ->
-      let updates = Instance.updates inst in
-      List.iter
-        (fun (u : Instance.update) ->
-          match Schedule.find u.Instance.switch schedule with
-          | None -> ()
-          | Some step ->
-              Obs.Counter.incr c_installs;
-              Controller.send env.Exec_env.controller
-                ~execute_at:(t0 + (step * cfg.Exec_env.delay_unit))
-                ~switch:u.Instance.switch
-                (Exec_env.modify_of_update inst u))
-        updates;
-      Controller.barrier_all env.Exec_env.controller
-        ~switches:(Schedule.switches schedule)
-        (fun at -> finished := Some at));
-  let horizon =
+  let acked : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let pending = ref (List.length timed) in
+  let retries = ref 0 in
+  let fallen_back = ref false in
+  let deadline =
     t0
     + (Schedule.makespan schedule * cfg.Exec_env.delay_unit)
-    + Sim_time.sec 5
+    + retry.deadline_slack
   in
+  (* Emergency path on deadline miss: a two-phase update over the final
+     path, version-tagged so half-installed timed state cannot capture
+     in-flight traffic. Its own commands go through [dispatch] too, so it
+     is best-effort under continuing faults — the monitor keeps score. *)
+  let fallback () =
+    fallen_back := true;
+    Obs.Counter.incr c_fallbacks;
+    let dst = Instance.destination inst and src = Instance.source inst in
+    let fin_transit = List.filter (fun v -> v <> dst) inst.Instance.p_fin in
+    List.iter
+      (fun v ->
+        match Instance.new_next inst v with
+        | None -> ()
+        | Some w ->
+            Exec_env.dispatch env ~switch:v
+              (Controller.Install
+                 {
+                   priority = 20;
+                   dst;
+                   tag_match = Flow_table.Tag fallback_tag;
+                   action =
+                     { Flow_table.set_tag = None; forward = Flow_table.Out w };
+                 }))
+      fin_transit;
+    Controller.barrier_all env.Exec_env.controller ~switches:fin_transit
+      (fun at ->
+        Engine.at engine at (fun () ->
+            let new_hop =
+              match Instance.new_next inst src with
+              | Some w -> w
+              | None -> assert false
+            in
+            Exec_env.dispatch env ~switch:src
+              (Controller.Modify
+                 {
+                   dst;
+                   tag_match = Flow_table.Any_tag;
+                   action =
+                     {
+                       Flow_table.set_tag = Some fallback_tag;
+                       forward = Flow_table.Out new_hop;
+                     };
+                 });
+            Controller.barrier env.Exec_env.controller ~switch:src (fun at ->
+                finished := Some at)))
+  in
+  let rec send ~attempt ((u : Instance.update), step) =
+    let exec_at = t0 + (step * cfg.Exec_env.delay_unit) in
+    Exec_env.dispatch env ~execute_at:exec_at
+      ~on_ack:(fun at ->
+        if not (Hashtbl.mem acked u.Instance.switch) then begin
+          Hashtbl.replace acked u.Instance.switch ();
+          decr pending;
+          if !pending = 0 && not !fallen_back then finished := Some at
+        end)
+      ~switch:u.Instance.switch
+      (Exec_env.modify_of_update inst u);
+    let check_at =
+      max (Engine.now engine) exec_at
+      + retry.ack_timeout
+      + (attempt * retry.backoff)
+    in
+    if check_at < deadline && attempt < retry.max_retries then
+      Engine.at engine check_at (fun () ->
+          if
+            (not (Hashtbl.mem acked u.Instance.switch)) && not !fallen_back
+          then begin
+            incr retries;
+            Obs.Counter.incr c_retries;
+            send ~attempt:(attempt + 1) (u, step)
+          end)
+  in
+  Engine.at engine dispatch_at (fun () ->
+      if timed = [] then finished := Some (Engine.now engine)
+      else List.iter (send ~attempt:0) timed;
+      Engine.at engine deadline (fun () ->
+          if !pending > 0 && not !fallen_back then fallback ()));
+  let horizon = deadline + Sim_time.sec 5 in
   Engine.run ~until:horizon engine;
+  if !finished = None then
+    (* A late fallback needs room for its barriers and the tag drain. *)
+    Engine.run
+      ~until:
+        (horizon
+        + (Instance.init_delay inst * cfg.Exec_env.delay_unit)
+        + Sim_time.sec 10)
+      engine;
   let update_done =
     match !finished with Some at -> at | None -> horizon
   in
   let result = Exec_env.finish env ~update_done in
-  { result; schedule; clean }
+  {
+    result;
+    schedule;
+    clean;
+    path = (if !fallen_back then Two_phase_fallback else Timed);
+    retries = !retries;
+    unacked = !pending;
+  }

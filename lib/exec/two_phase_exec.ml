@@ -2,7 +2,6 @@ open Chronus_sim
 open Chronus_flow
 module Obs = Chronus_obs.Obs
 
-let c_installs = Obs.Counter.v "exec.rule_installs"
 let c_phases = Obs.Counter.v "exec.transition_phases"
 let s_run = Obs.Span.v "exec.two_phase.run"
 let p_phase = Obs.Point.v "exec.two_phase.phase"
@@ -17,9 +16,11 @@ type t = {
 let old_tag = 1
 let new_tag = 2
 
-let run ?config ?seed inst =
+let run ?config ?seed ?faults inst =
   Obs.Span.with_h s_run @@ fun () ->
-  let env = Exec_env.build ?config ?seed ~tag_initial:(Some old_tag) inst in
+  let env =
+    Exec_env.build ?config ?seed ?faults ~tag_initial:(Some old_tag) inst
+  in
   let engine = Network.engine env.Exec_env.net in
   let cfg = env.Exec_env.config in
   let controller = env.Exec_env.controller in
@@ -40,8 +41,7 @@ let run ?config ?seed inst =
           | None -> ()
           | Some w ->
               incr rules_installed;
-              Obs.Counter.incr c_installs;
-              Controller.send controller ~switch:v
+              Exec_env.dispatch env ~switch:v
                 (Controller.Install
                    {
                      priority = 20;
@@ -64,8 +64,7 @@ let run ?config ?seed inst =
                 | Some w -> w
                 | None -> assert false
               in
-              Obs.Counter.incr c_installs;
-              Controller.send controller ~switch:src
+              Exec_env.dispatch env ~switch:src
                 (Controller.Modify
                    {
                      dst;
@@ -95,7 +94,7 @@ let run ?config ?seed inst =
                       in
                       List.iter
                         (fun v ->
-                          Controller.send controller ~switch:v
+                          Exec_env.dispatch env ~switch:v
                             (Controller.Remove
                                { dst; tag_match = Flow_table.Tag old_tag }))
                         old_transit;

@@ -14,4 +14,8 @@ type t = {
 }
 
 val run :
-  ?config:Exec_env.config -> ?seed:int -> Chronus_flow.Instance.t -> t
+  ?config:Exec_env.config ->
+  ?seed:int ->
+  ?faults:Chronus_faults.Faults.config ->
+  Chronus_flow.Instance.t ->
+  t

@@ -48,17 +48,38 @@ let record_outstanding t switch time =
   in
   Hashtbl.replace t.outstanding switch (time :: current)
 
-let send t ?execute_at ~switch mod_ =
-  t.sent <- t.sent + 1;
-  let engine = Network.engine t.net in
-  let arrival = Engine.now engine + t.latency ~switch in
-  let applied_at =
-    match execute_at with
-    | None -> arrival
-    | Some stamp -> max arrival stamp
-  in
-  record_outstanding t switch applied_at;
-  Engine.at engine applied_at (fun () -> apply t ~switch mod_)
+type handling = Deliver | Lose | Reject | Crash of (unit -> unit)
+
+let send t ?execute_at ?latency ?(process_delay = 0) ?(handling = Deliver)
+    ?(counted = true) ?ack ~switch mod_ =
+  if counted then t.sent <- t.sent + 1;
+  match handling with
+  | Lose -> ()
+  | _ ->
+      let engine = Network.engine t.net in
+      let forward =
+        match latency with Some l -> l | None -> t.latency ~switch
+      in
+      let arrival = Engine.now engine + forward in
+      let applied_at =
+        match execute_at with
+        | None -> arrival
+        | Some stamp -> max arrival stamp
+      in
+      let applied_at = applied_at + process_delay in
+      record_outstanding t switch applied_at;
+      Engine.at engine applied_at (fun () ->
+          (match handling with
+          | Deliver -> apply t ~switch mod_
+          | Reject -> ()
+          | Crash restore -> restore ()
+          | Lose -> assert false);
+          match (handling, ack) with
+          | Deliver, Some f ->
+              (* The ack rides the reverse control-channel leg. *)
+              let reply = applied_at + t.latency ~switch in
+              Engine.at engine reply (fun () -> f reply)
+          | _ -> ())
 
 let barrier t ~switch callback =
   let engine = Network.engine t.net in

@@ -29,9 +29,36 @@ val create :
     constant 1 ms). Called once per command and per barrier leg, so a
     randomised function yields the asynchrony of the paper's OR runs. *)
 
-val send : t -> ?execute_at:Sim_time.t -> switch:int -> flow_mod -> unit
+(** What the channel/switch pair does with a command — the hook
+    [Chronus_faults] drives. [Deliver] is the normal path; [Lose] drops
+    the command in the channel (it still counts as sent, but never
+    arrives and never blocks a barrier); [Reject] means the switch
+    processes but does not apply it (and never acks); [Crash f] means the
+    switch reboots on receipt: instead of applying, it runs [f] (which
+    restores the persisted table) and never acks. *)
+type handling = Deliver | Lose | Reject | Crash of (unit -> unit)
+
+val send :
+  t ->
+  ?execute_at:Sim_time.t ->
+  ?latency:Sim_time.t ->
+  ?process_delay:Sim_time.t ->
+  ?handling:handling ->
+  ?counted:bool ->
+  ?ack:(Sim_time.t -> unit) ->
+  switch:int ->
+  flow_mod ->
+  unit
 (** Issue a command now. Without [execute_at] it is applied when it
-    reaches the switch; with it, at [max arrival execute_at]. *)
+    reaches the switch; with it, at [max arrival execute_at]. [latency]
+    overrides this command's forward-leg delay (the default draws from
+    the constructor's latency function); [process_delay] adds switch-side
+    processing time after the execution stamp (a straggler);
+    [handling] defaults to [Deliver]; [counted] (default true) controls
+    whether the command increments {!commands_sent} — duplicates
+    injected by the fault layer pass [false]; [ack], if given and the
+    command is delivered, is called when the switch's acknowledgement
+    reaches the controller (one reverse latency leg after application). *)
 
 val barrier : t -> switch:int -> (Sim_time.t -> unit) -> unit
 (** Issue an OFBarrierRequest now; the callback receives the time at

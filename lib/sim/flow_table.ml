@@ -62,6 +62,15 @@ let lookup t ~dst ~tag =
       | Some b -> if better r b then Some r else best)
     None candidates
 
+type snapshot = rule list
+
+let snapshot t = t.rules
+
+let restore t s =
+  (* next_id stays monotone: rules installed after a restore are younger
+     than every surviving snapshot rule, so tie-breaks stay stable. *)
+  t.rules <- s
+
 let size t = List.length t.rules
 
 let rules t =

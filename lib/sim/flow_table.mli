@@ -40,6 +40,18 @@ val modify_actions : t -> dst:int -> tag_match:tag_match -> action -> int
 val remove : t -> dst:int -> tag_match:tag_match -> int
 (** Delete all rules with exactly these match fields; returns the count. *)
 
+type snapshot
+(** An immutable copy of a table's rule set. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Replace the table's rules with the snapshot's — the crash-restart
+    model of [Chronus_faults]: a rebooting switch comes back with the
+    configuration it had persisted. The id counter is {e not} rewound, so
+    rules installed after a restore remain younger than every snapshot
+    rule and tie-breaking stays deterministic. *)
+
 val lookup : t -> dst:int -> tag:int option -> rule option
 (** Best-match semantics: the rule matches when [dst] equals and the tag
     constraint is satisfied ([Any_tag] always; [Tag v] only when the

@@ -1,4 +1,12 @@
+module Obs = Chronus_obs.Obs
+
 type sample = { at : Sim_time.t; mbps : float }
+
+type violations = {
+  transient_loops : int;
+  blackholes : int;
+  overload_samples : int;
+}
 
 type t = {
   net : Network.t;
@@ -7,7 +15,14 @@ type t = {
   samples : (int * int, sample list) Hashtbl.t;
   mutable peak_rules : int;
   mutable stop_at : Sim_time.t option;
+  mutable transient_loops : int;
+  mutable blackholes : int;
+  mutable overload_samples : int;
 }
+
+let c_loops = Obs.Counter.v "monitor.transient_loops"
+let c_blackholes = Obs.Counter.v "monitor.blackhole_drops"
+let c_overloads = Obs.Counter.v "monitor.overload_samples"
 
 let take_sample t =
   List.iter
@@ -25,7 +40,11 @@ let take_sample t =
       let history =
         Option.value ~default:[] (Hashtbl.find_opt t.samples link)
       in
-      Hashtbl.replace t.samples link (s :: history))
+      Hashtbl.replace t.samples link (s :: history);
+      if mbps > Network.link_capacity_mbps t.net link then begin
+        t.overload_samples <- t.overload_samples + 1;
+        Obs.Counter.incr c_overloads
+      end)
     (Network.links t.net);
   t.peak_rules <- max t.peak_rules (Network.total_rules t.net)
 
@@ -38,8 +57,19 @@ let create ?(interval = Sim_time.sec 1) net =
       samples = Hashtbl.create 32;
       peak_rules = Network.total_rules net;
       stop_at = None;
+      transient_loops = 0;
+      blackholes = 0;
+      overload_samples = 0;
     }
   in
+  Network.on_drop net (fun reason ~switch:_ ~bytes:_ ->
+      match reason with
+      | Network.Hop_limit ->
+          t.transient_loops <- t.transient_loops + 1;
+          Obs.Counter.incr c_loops
+      | Network.No_rule ->
+          t.blackholes <- t.blackholes + 1;
+          Obs.Counter.incr c_blackholes);
   let engine = Network.engine net in
   let rec tick at =
     let beyond =
@@ -79,5 +109,15 @@ let congested_samples t =
         acc history)
     t.samples []
   |> List.sort compare
+
+let violations t =
+  {
+    transient_loops = t.transient_loops;
+    blackholes = t.blackholes;
+    overload_samples = t.overload_samples;
+  }
+
+let no_violations (v : violations) =
+  v.transient_loops = 0 && v.blackholes = 0 && v.overload_samples = 0
 
 let peak_rules t = t.peak_rules

@@ -11,9 +11,26 @@ type sample = {
   mbps : float;
 }
 
+(** Consistency violations observed online during a run: forwarding
+    loops (chunks dropped at the hop limit), blackholes (chunks matching
+    no rule), and link-overload sampling intervals. The first two arrive
+    through a {!Network.on_drop} observer the moment they happen; the
+    third is counted at each sampling tick. Chronus's correctness claim
+    is exactly that a consistent update keeps all three at zero. *)
+type violations = {
+  transient_loops : int;  (** hop-limit drops (loop evidence) *)
+  blackholes : int;  (** no-rule drops *)
+  overload_samples : int;  (** samples where a link exceeded capacity *)
+}
+
 val create : ?interval:Sim_time.t -> Network.t -> t
 (** Start sampling every [interval] (default 1 s) from the current time;
-    runs for as long as the engine does. *)
+    runs for as long as the engine does. Also registers a drop observer
+    on the network, so violation counting starts immediately. *)
+
+val violations : t -> violations
+
+val no_violations : violations -> bool
 
 val stop_after : t -> Sim_time.t -> unit
 (** Do not schedule samples beyond this absolute time (the engine would
