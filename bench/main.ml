@@ -39,6 +39,7 @@ type suite = {
   fig8 : E.Fig8.row list;
   fig9 : E.Fig9.row list;
   fig10 : E.Fig10.row list;
+  fig_scale : E.Fig_scale.row list;
   fig11 : E.Fig11.result;
   robust : E.Fig_robust.row list;
   ablation : E.Ablation.row list;
@@ -49,9 +50,9 @@ type suite = {
           the determinism digest (metrics observe, never decide) *)
 }
 
-(* Everything except Fig. 10's measured timings is a pure function of
-   (scale, seed), so the digest must match between a sequential and a
-   parallel pass bit for bit. *)
+(* Everything except Fig. 10's and the scale figure's measured timings
+   is a pure function of (scale, seed), so the digest must match between
+   a sequential and a parallel pass bit for bit. *)
 let digest s =
   Digest.string
     (Marshal.to_string
@@ -85,6 +86,9 @@ let run_suite ~jobs scale =
   in
   let t2 = now () in
   let fig10 = measured E.Fig10.name (fun () -> E.Fig10.run ~jobs ~scale ()) in
+  let fig_scale =
+    measured E.Fig_scale.name (fun () -> E.Fig_scale.run ~jobs ~scale ())
+  in
   let t3 = now () in
   {
     table2;
@@ -93,6 +97,7 @@ let run_suite ~jobs scale =
     fig8;
     fig9;
     fig10;
+    fig_scale;
     fig11;
     robust;
     ablation;
@@ -124,6 +129,7 @@ let print_suite ?(metrics = false) s =
   figure E.Fig8.name E.Fig8.print s.fig8;
   figure E.Fig9.name E.Fig9.print s.fig9;
   figure E.Fig10.name E.Fig10.print s.fig10;
+  figure E.Fig_scale.name E.Fig_scale.print s.fig_scale;
   figure E.Fig11.name E.Fig11.print s.fig11;
   figure E.Fig_robust.name E.Fig_robust.print s.robust;
   figure E.Ablation.name E.Ablation.print s.ablation
@@ -233,6 +239,81 @@ let oracle_incremental_tests =
              Oracle.Checker.pop ck));
     ]
 
+(* The data-plane structures, at the acceptance load: 1000 rules per
+   switch over 256 destinations. The indexed table answers lookups from
+   a per-destination bucket; the legacy list — the seed implementation,
+   kept in-tree as [Flow_table.Legacy] — scans all 1000 rules, so the
+   pair of rows reads directly as the speedup. *)
+let flow_table_tests =
+  let module FT = Chronus_sim.Flow_table in
+  let act = { FT.set_tag = None; forward = FT.To_host } in
+  let rules =
+    let rng = Rng.make 77 in
+    List.init 1000 (fun _ -> (Rng.int rng 8, Rng.int rng 256))
+  in
+  let t = FT.create () in
+  List.iter
+    (fun (priority, dst) ->
+      ignore (FT.install t ~priority ~dst ~tag_match:FT.Any_tag act))
+    rules;
+  let l = FT.Legacy.create () in
+  List.iter
+    (fun (priority, dst) ->
+      ignore (FT.Legacy.install l ~priority ~dst ~tag_match:FT.Any_tag act))
+    rules;
+  let probes =
+    let rng = Rng.make 78 in
+    Array.init 1024 (fun _ -> Rng.int rng 256)
+  in
+  let cursor = ref 0 in
+  let next () =
+    let d = probes.(!cursor land 1023) in
+    incr cursor;
+    d
+  in
+  [
+    Test.make ~name:"flow-table/lookup/1000"
+      (Staged.stage (fun () -> ignore (FT.lookup t ~dst:(next ()) ~tag:None)));
+    Test.make ~name:"flow-table/legacy-lookup/1000"
+      (Staged.stage (fun () ->
+           ignore (FT.Legacy.lookup l ~dst:(next ()) ~tag:None)));
+    Test.make ~name:"flow-table/modify/1000"
+      (Staged.stage (fun () ->
+           ignore (FT.modify_actions t ~dst:(next ()) ~tag_match:FT.Any_tag act)));
+  ]
+
+(* Steady-state hold model (push one, dispatch one) on a queue holding
+   1000 pending events with microsecond-spread timestamps — the
+   calendar ring against the seed binary heap it replaced. *)
+let event_queue_tests =
+  let module EQ = Chronus_sim.Event_queue in
+  let times =
+    let rng = Rng.make 79 in
+    Array.init 4096 (fun _ -> Rng.int rng 1_000_000)
+  in
+  let nothing () = () in
+  let preload push = for i = 0 to 999 do push ~time:times.(i) nothing done in
+  let cq = EQ.Calendar.create () in
+  preload (EQ.Calendar.push cq);
+  let hq = EQ.Heap.create () in
+  preload (EQ.Heap.push hq);
+  let cursor = ref 1000 in
+  let next () =
+    let t = times.(!cursor land 4095) in
+    incr cursor;
+    t
+  in
+  [
+    Test.make ~name:"event-queue/push-pop"
+      (Staged.stage (fun () ->
+           EQ.Calendar.push cq ~time:(next ()) nothing;
+           ignore (EQ.Calendar.run_next cq)));
+    Test.make ~name:"event-queue/heap-push-pop"
+      (Staged.stage (fun () ->
+           EQ.Heap.push hq ~time:(next ()) nothing;
+           ignore (EQ.Heap.run_next hq)));
+  ]
+
 let baseline_tests =
   let inst = instance_of_size 60 in
   [
@@ -253,7 +334,8 @@ let benchmarks () =
   let tests =
     Test.make_grouped ~name:"chronus"
       (greedy_tests @ greedy_exact_tests @ primitive_tests
-      @ oracle_incremental_tests @ baseline_tests)
+      @ oracle_incremental_tests @ flow_table_tests @ event_queue_tests
+      @ baseline_tests)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
@@ -422,6 +504,31 @@ let faults_json () =
       ("overload_samples", counter "monitor.overload_samples");
     ]
 
+(* chronus-bench/5: the scale figure's rows — deterministic shape/size
+   columns plus the wall-measured throughput and lookup cost. The wall
+   columns vary run to run; they are reported here but never enter the
+   determinism digest. *)
+let scale_json suite =
+  Json.Obj
+    (List.map
+       (fun (r : E.Fig_scale.row) ->
+         ( r.E.Fig_scale.topo,
+           Json.Obj
+             [
+               ("switches", Json.Int r.E.Fig_scale.switches);
+               ("links", Json.Int r.E.Fig_scale.links);
+               ("rules", Json.Int r.E.Fig_scale.rules);
+               ("updates", Json.Int r.E.Fig_scale.updates);
+               ("events", Json.Int r.E.Fig_scale.events);
+               ("chronus_span_s", Json.Float r.E.Fig_scale.chronus_span_s);
+               ("tp_span_s", Json.Float r.E.Fig_scale.tp_span_s);
+               ("or_span_s", Json.Float r.E.Fig_scale.or_span_s);
+               ("chronus_clean", Json.Bool r.E.Fig_scale.chronus_clean);
+               ("events_per_s", Json.Float r.E.Fig_scale.events_per_s);
+               ("lookup_ns", Json.Float r.E.Fig_scale.lookup_ns);
+             ] ))
+       suite.fig_scale)
+
 let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let experiments_json =
     match experiments with
@@ -457,10 +564,14 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/4");
+        ("schema", Json.String "chronus-bench/5");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("experiments", experiments_json);
+        ( "scale_rows",
+          match experiments with
+          | None -> Json.Null
+          | Some (seq, _) -> scale_json seq );
         ("oracle_cache", oracle_cache_json ~micro);
         ("faults", faults_json ());
         ("metrics", metrics_json ());

@@ -99,7 +99,7 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, ablation, all.")
+          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, scale, ablation, all.")
   in
   let run which scale_name jobs metrics =
     let module Obs = Chronus_obs.Obs in
@@ -118,6 +118,7 @@ let experiment_cmd =
       | "fig10" -> E.Fig10.print (E.Fig10.run ~jobs ~scale ())
       | "fig11" -> E.Fig11.print (E.Fig11.run ~jobs ~scale ())
       | "robust" -> E.Fig_robust.print (E.Fig_robust.run ~jobs ~scale ())
+      | "scale" -> E.Fig_scale.print (E.Fig_scale.run ~jobs ~scale ())
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
@@ -142,7 +143,7 @@ let experiment_cmd =
             print_newline ())
           [
             "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-            "robust"; "ablation";
+            "robust"; "scale"; "ablation";
           ]
     | w -> dispatch w);
     0

@@ -18,6 +18,10 @@ type config = {
   drain : Sim_time.t;
   control_latency : Sim_time.t * Sim_time.t;
   sample : Sim_time.t;
+  preinstall : (int * Controller.flow_mod) list;
+      (** background forwarding state, installed per (switch, flow-mod)
+          before the experiment starts; part of the persisted
+          configuration a crash-restarting switch reverts to *)
 }
 
 let default =
@@ -30,6 +34,7 @@ let default =
     drain = Sim_time.sec 5;
     control_latency = (Sim_time.msec 2, Sim_time.msec 40);
     sample = Sim_time.sec 1;
+    preinstall = [];
   }
 
 type env = {
@@ -56,6 +61,20 @@ let build ?(config = default) ?(seed = 1) ?(faults = Faults.zero) ~tag_initial
         ~delay:(e.Graph.delay * config.delay_unit)
         u v)
     (Graph.edges g);
+  (* Background state first: preinstalled rules get the lowest ids, so
+     the experiment's own rules stay younger and tie-breaks among them
+     are unaffected by how much ballast surrounds them. *)
+  List.iter
+    (fun (switch, mod_) ->
+      let table = Network.table net switch in
+      match mod_ with
+      | Controller.Install { priority; dst; tag_match; action } ->
+          ignore (Flow_table.install table ~priority ~dst ~tag_match action)
+      | Controller.Modify { dst; tag_match; action } ->
+          ignore (Flow_table.modify_actions table ~dst ~tag_match action)
+      | Controller.Remove { dst; tag_match } ->
+          ignore (Flow_table.remove table ~dst ~tag_match))
+    config.preinstall;
   let dst = Instance.destination inst in
   let src = Instance.source inst in
   let tag_match =
@@ -154,6 +173,7 @@ type result = {
   loss_bytes : int;
   update_span : Sim_time.t;
   commands : int;
+  events : int;  (** events the engine dispatched over the whole run *)
   violations : Monitor.violations;
 }
 
@@ -188,6 +208,7 @@ let finish env ~update_done =
     loss_bytes = stats.Network.dropped_no_rule + stats.Network.dropped_loop;
     update_span = max 0 (update_done - env.config.warmup);
     commands = Controller.commands_sent env.controller;
+    events = Engine.dispatched engine;
     violations = Monitor.violations env.monitor;
   }
 

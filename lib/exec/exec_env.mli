@@ -18,6 +18,13 @@ type config = {
   control_latency : Sim_time.t * Sim_time.t;
       (** uniform range of the per-command control-channel delay *)
   sample : Sim_time.t;  (** bandwidth sampling interval (paper: 1 s) *)
+  preinstall : (int * Controller.flow_mod) list;
+      (** background forwarding state, applied per (switch, flow-mod)
+          directly to the tables before the initial-path rules — so the
+          ballast gets the lowest rule ids and is part of the persisted
+          configuration a crash-restarting switch reverts to. Default
+          empty; the scale experiments use it to load fat-tree/WAN
+          networks with realistic rule counts. *)
 }
 
 val default : config
@@ -79,6 +86,10 @@ type result = {
   loss_bytes : int;  (** blackholed + looped traffic *)
   update_span : Sim_time.t;  (** first command to last barrier reply *)
   commands : int;
+  events : int;
+      (** events this run's engine dispatched — deterministic, unlike
+          wall-clock time, so it belongs in digested rows and is the
+          numerator of the scale figure's events/s throughput *)
   violations : Monitor.violations;
       (** online consistency violations: loops, blackholes, overloads *)
 }

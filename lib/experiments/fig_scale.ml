@@ -1,0 +1,255 @@
+open Chronus_graph
+open Chronus_sim
+open Chronus_flow
+open Chronus_topo
+open Chronus_exec
+module Obs = Chronus_obs.Obs
+
+(* Scale figure: drive all three executors on big topologies — fat-trees
+   (k = 4..16) and B4-like WANs — with realistic background rule counts,
+   and report simulator throughput, per-lookup cost, and end-to-end
+   update time versus topology size. Wall-clock fields are measured, so
+   this figure (like fig10) stays out of the benchmark digest; the
+   event/rule/span columns are deterministic. *)
+
+type kind = Fat_tree of int | B4 | Wan of int
+
+type row = {
+  topo : string;
+  switches : int;
+  links : int;
+  rules : int;  (** installed network-wide before the update starts *)
+  updates : int;  (** switches the reroute touches *)
+  events : int;  (** engine events across the three executor runs *)
+  chronus_span_s : float;
+  tp_span_s : float;
+  or_span_s : float;
+  chronus_clean : bool;
+  events_per_s : float;  (** wall-measured sim throughput *)
+  lookup_ns : float;  (** wall-measured per-lookup cost on loaded tables *)
+}
+
+let name = "fig-scale"
+
+(* Background ballast: every holder switch announces this many "host
+   prefix" destinations; every switch installs one rule per prefix. *)
+let prefixes_per_holder = 4
+
+let kind_label = function
+  | Fat_tree k -> Printf.sprintf "fat-tree k=%d" k
+  | B4 -> "b4"
+  | Wan n -> Printf.sprintf "wan n=%d" n
+
+(* A stable per-kind coordinate for RNG lanes, keyed by the kind's value
+   (not its position in the cell list) so adding cells never perturbs
+   existing rows. *)
+let kind_code = function
+  | Fat_tree k -> k
+  | B4 -> 1_000
+  | Wan n -> 2_000 + n
+
+(* Prefix-announcing switches: the edge layer of a fat-tree, every site
+   of a WAN. *)
+let prefix_holders g = function
+  | Fat_tree k ->
+      let half = k / 2 in
+      let core_count = half * half in
+      List.concat_map
+        (fun pod -> List.init half (fun i -> core_count + (pod * k) + half + i))
+        (List.init k Fun.id)
+  | B4 | Wan _ -> Graph.nodes g
+
+(* One rule per (switch, prefix): forward towards the prefix's holder
+   along the min-delay tree, deliver at the holder. Prefix ids live
+   above every node id, so the ballast never collides with the
+   instance's own destination rules. *)
+let preinstall_for g ~holders ~base =
+  let nodes = Graph.nodes g in
+  let mods = ref [] in
+  List.iteri
+    (fun h holder ->
+      let tree = Shortest.dijkstra g holder in
+      for p = 0 to prefixes_per_holder - 1 do
+        let dst = base + (h * prefixes_per_holder) + p in
+        List.iter
+          (fun v ->
+            match Hashtbl.find_opt tree v with
+            | None -> ()
+            | Some (_, pred) ->
+                (* The graph is symmetric, so the predecessor on the
+                   holder->v tree is v's next hop towards the holder. *)
+                let forward =
+                  if v = holder then Flow_table.To_host else Flow_table.Out pred
+                in
+                mods :=
+                  ( v,
+                    Controller.Install
+                      {
+                        priority = 5;
+                        dst;
+                        tag_match = Flow_table.Any_tag;
+                        action = { Flow_table.set_tag = None; forward };
+                      } )
+                  :: !mods
+          )
+          nodes
+      done)
+    holders;
+  List.rev !mods
+
+let instance_of ~seed kind =
+  let rng = Rng.derive seed [ 14; kind_code kind ] in
+  match kind with
+  | Fat_tree k -> Scenario.fat_tree_reroute ~rng k
+  | B4 ->
+      let params = { Topology.capacity = 2; delay = 1 } in
+      Scenario.detour ~rng (Topology.b4 ~params ())
+  | Wan n ->
+      let params = { Topology.capacity = 2; delay = 1 } in
+      Scenario.detour ~rng (Topology.wan ~params ~rng n)
+
+(* Per-lookup cost on a freshly loaded network: random (switch, prefix)
+   probes against tables carrying the cell's full ballast. *)
+let measure_lookup_ns ~seed ~code g preinstall ~base ~nprefixes =
+  let engine = Engine.create () in
+  let net = Network.create engine in
+  List.iter (fun v -> Network.add_switch net v) (Graph.nodes g);
+  List.iter
+    (fun (switch, mod_) ->
+      match mod_ with
+      | Controller.Install { priority; dst; tag_match; action } ->
+          ignore
+            (Flow_table.install (Network.table net switch) ~priority ~dst
+               ~tag_match action)
+      | _ -> ())
+    preinstall;
+  let nodes = Array.of_list (Graph.nodes g) in
+  let rng = Rng.derive seed [ 16; code ] in
+  let m = 100_000 in
+  let queries =
+    Array.init m (fun _ ->
+        (nodes.(Rng.int rng (Array.length nodes)), base + Rng.int rng nprefixes))
+  in
+  let t0 = Obs.clock_ns () in
+  Array.iter
+    (fun (v, dst) ->
+      ignore (Flow_table.lookup (Network.table net v) ~dst ~tag:None))
+    queries;
+  float_of_int (Obs.clock_ns () - t0) /. float_of_int m
+
+(* Short warmup/drain, as in fig_robust: the figure multiplies three
+   executors by several big topologies. *)
+let config ~preinstall =
+  {
+    Exec_env.default with
+    Exec_env.warmup = Sim_time.sec 1;
+    drain = Sim_time.sec 2;
+    preinstall;
+  }
+
+let run_cell ~seed kind =
+  let inst = instance_of ~seed kind in
+  let g = inst.Instance.graph in
+  let holders = prefix_holders g kind in
+  let base = 1 + List.fold_left max 0 (Graph.nodes g) in
+  let preinstall = preinstall_for g ~holders ~base in
+  let config = config ~preinstall in
+  let code = kind_code kind in
+  let exec_seed lane = Rng.int (Rng.derive seed [ 15; code; lane ]) 0x3FFFFFFF in
+  let time f =
+    let t0 = Obs.clock_ns () in
+    let r = f () in
+    (r, float_of_int (Obs.clock_ns () - t0) /. 1e9)
+  in
+  let chronus, c_wall =
+    time (fun () -> Timed_exec.run ~config ~seed:(exec_seed 0) inst)
+  in
+  let tp, t_wall =
+    time (fun () -> Two_phase_exec.run ~config ~seed:(exec_seed 1) inst)
+  in
+  let ord, o_wall =
+    time (fun () -> Order_exec.run ~config ~seed:(exec_seed 2) inst)
+  in
+  let events =
+    chronus.Timed_exec.result.Exec_env.events
+    + tp.Two_phase_exec.result.Exec_env.events
+    + ord.Order_exec.result.Exec_env.events
+  in
+  let wall = c_wall +. t_wall +. o_wall in
+  let nprefixes = List.length holders * prefixes_per_holder in
+  {
+    topo = kind_label kind;
+    switches = Graph.node_count g;
+    links = List.length (Graph.edges g);
+    rules = List.length preinstall + List.length inst.Instance.p_init;
+    updates = List.length (Instance.updates inst);
+    events;
+    chronus_span_s =
+      Sim_time.to_sec chronus.Timed_exec.result.Exec_env.update_span;
+    tp_span_s = Sim_time.to_sec tp.Two_phase_exec.result.Exec_env.update_span;
+    or_span_s = Sim_time.to_sec ord.Order_exec.result.Exec_env.update_span;
+    chronus_clean =
+      Monitor.no_violations chronus.Timed_exec.result.Exec_env.violations;
+    events_per_s = (if wall > 0. then float_of_int events /. wall else 0.);
+    lookup_ns = measure_lookup_ns ~seed ~code g preinstall ~base ~nprefixes;
+  }
+
+let default_kinds scale =
+  if scale.Scale.instances <= 4 then [ Fat_tree 4; Wan 8 ]
+  else if scale.Scale.instances <= 10 then
+    [ Fat_tree 4; Fat_tree 6; Fat_tree 8; B4; Wan 16; Wan 32 ]
+  else
+    [
+      Fat_tree 4; Fat_tree 8; Fat_tree 12; Fat_tree 16; B4; Wan 32; Wan 64;
+      Wan 128;
+    ]
+
+let run ?jobs ?(scale = Scale.quick) ?kinds () =
+  let kinds = Option.value ~default:(default_kinds scale) kinds in
+  let seed = scale.Scale.seed in
+  (* One cell per topology; each owns RNG coordinates keyed by the
+     kind's value, so rows are bit-identical at any job count and under
+     any cell mix (wall-clock columns excepted, by nature). *)
+  Chronus_parallel.Pool.parallel_map ?jobs (fun kind -> run_cell ~seed kind) kinds
+
+let print rows =
+  let open Chronus_stats in
+  let table =
+    Table.create
+      ~headers:
+        [
+          "topology";
+          "switches";
+          "links";
+          "rules";
+          "updates";
+          "events";
+          "events/s";
+          "lookup ns";
+          "Chronus s";
+          "TP s";
+          "OR s";
+          "clean";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.topo;
+          string_of_int r.switches;
+          string_of_int r.links;
+          string_of_int r.rules;
+          string_of_int r.updates;
+          string_of_int r.events;
+          Printf.sprintf "%.0f" r.events_per_s;
+          Printf.sprintf "%.0f" r.lookup_ns;
+          Printf.sprintf "%.2f" r.chronus_span_s;
+          Printf.sprintf "%.2f" r.tp_span_s;
+          Printf.sprintf "%.2f" r.or_span_s;
+          (if r.chronus_clean then "yes" else "no");
+        ])
+    rows;
+  print_endline
+    "# Scale — simulator throughput and update time vs. topology size";
+  Table.print table

@@ -1,0 +1,42 @@
+(** Scale experiment: simulator throughput (events/s), per-lookup cost
+    on loaded flow tables, and end-to-end update time versus topology
+    size, for all three executors — the workload ROADMAP item 2 calls
+    for and the indexed flow table + calendar event queue make
+    tractable.
+
+    Each cell builds a full fat-tree (k-ary, 4..16) or a B4-like WAN,
+    loads every switch with background "host prefix" rules (a k=8
+    fat-tree carries >10k rules network-wide), reroutes one pod-to-pod
+    or site-to-site flow with each executor, and probes the loaded
+    tables with 100k random lookups. Event counts, rule counts and
+    update spans are deterministic (cells derive their RNGs from the
+    kind's value, so rows are bit-identical at any [CHRONUS_JOBS]);
+    events/s and lookup ns are wall-clock measurements, which is why
+    this figure — like fig10 — is excluded from the benchmark digest. *)
+
+type kind = Fat_tree of int | B4 | Wan of int
+
+type row = {
+  topo : string;
+  switches : int;
+  links : int;
+  rules : int;  (** installed network-wide before the update starts *)
+  updates : int;  (** switches the reroute touches *)
+  events : int;  (** engine events across the three executor runs *)
+  chronus_span_s : float;
+  tp_span_s : float;
+  or_span_s : float;
+  chronus_clean : bool;  (** no loops/blackholes/overloads, timed run *)
+  events_per_s : float;  (** wall-measured sim throughput *)
+  lookup_ns : float;  (** wall-measured per-lookup cost on loaded tables *)
+}
+
+val name : string
+
+val default_kinds : Scale.t -> kind list
+(** Tiny: [k=4] fat-tree and an 8-site WAN; quick adds [k=6,8], B4 and
+    bigger WANs; paper scales to [k=16] and 128 sites. *)
+
+val run : ?jobs:int -> ?scale:Scale.t -> ?kinds:kind list -> unit -> row list
+
+val print : row list -> unit

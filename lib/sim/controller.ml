@@ -46,6 +46,12 @@ let record_outstanding t switch time =
   let current =
     Option.value ~default:[] (Hashtbl.find_opt t.outstanding switch)
   in
+  (* Prune completions that are already in the past: a future barrier's
+     request arrives no earlier than [now], so entries at or before it
+     can never win the max and would otherwise accumulate for the whole
+     run on large update batches. *)
+  let now = Engine.now (Network.engine t.net) in
+  let current = List.filter (fun at -> at > now) current in
   Hashtbl.replace t.outstanding switch (time :: current)
 
 type handling = Deliver | Lose | Reject | Crash of (unit -> unit)

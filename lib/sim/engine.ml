@@ -3,9 +3,13 @@ module Obs = Chronus_obs.Obs
 let c_dispatched = Obs.Counter.v "sim.events_dispatched"
 let s_run = Obs.Span.v "sim.run"
 
-type t = { queue : Event_queue.t; mutable clock : Sim_time.t }
+type t = {
+  queue : Event_queue.t;
+  mutable clock : Sim_time.t;
+  mutable dispatched : int;
+}
 
-let create () = { queue = Event_queue.create (); clock = 0 }
+let create () = { queue = Event_queue.create (); clock = 0; dispatched = 0 }
 
 let now t = t.clock
 
@@ -13,26 +17,31 @@ let at t time thunk = Event_queue.push t.queue ~time:(max time t.clock) thunk
 
 let after t delay thunk = at t (t.clock + max 0 delay) thunk
 
+(* The hot loop is allocation-free per event: [next_time]/[run_next]
+   avoid the [Some time] / [Some (time, thunk)] boxes [peek_time]/[pop]
+   would build for every dispatch. *)
 let run ?until t =
   Obs.Span.with_h s_run @@ fun () ->
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.queue with
-    | None ->
-        (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
-        continue := false
-    | Some time -> (
-        match until with
-        | Some u when time > u ->
-            t.clock <- u;
-            continue := false
-        | _ -> (
-            match Event_queue.pop t.queue with
-            | None -> continue := false
-            | Some (time, thunk) ->
-                t.clock <- time;
-                Obs.Counter.incr c_dispatched;
-                thunk ()))
+    if Event_queue.is_empty t.queue then begin
+      (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+      continue := false
+    end
+    else begin
+      let time = Event_queue.next_time t.queue in
+      match until with
+      | Some u when time > u ->
+          t.clock <- u;
+          continue := false
+      | _ ->
+          t.clock <- time;
+          Obs.Counter.incr c_dispatched;
+          t.dispatched <- t.dispatched + 1;
+          ignore (Event_queue.run_next t.queue : bool)
+    end
   done
 
 let pending t = Event_queue.size t.queue
+
+let dispatched t = t.dispatched

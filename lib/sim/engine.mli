@@ -23,3 +23,8 @@ val run : ?until:Sim_time.t -> t -> unit
 
 val pending : t -> int
 (** Number of events still queued. *)
+
+val dispatched : t -> int
+(** Events dispatched by this engine since creation. Unlike the global
+    [sim.events_dispatched] counter this is per-engine, so experiment
+    rows built from it stay deterministic under parallel trials. *)

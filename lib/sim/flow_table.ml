@@ -1,3 +1,10 @@
+module Obs = Chronus_obs.Obs
+
+(* Volume counter only: the number of lookups a run performs is a pure
+   function of the workload, so observing it never influences the
+   simulation. *)
+let c_lookups = Obs.Counter.v "sim.flow_lookups"
+
 type tag_match = Any_tag | Tag of int
 
 type forward = Out of int | To_host | Drop
@@ -12,35 +19,90 @@ type rule = {
   action : action;
 }
 
-type t = { mutable rules : rule list; mutable next_id : int }
+(* [better a b]: does [a] win a tie against [b]?  Highest priority,
+   then oldest id — the exact order the legacy list implementation
+   resolved with a fold. *)
+let better a b =
+  a.priority > b.priority || (a.priority = b.priority && a.id < b.id)
 
-let create () = { rules = []; next_id = 0 }
+(* Rules are bucketed by [dst]; each bucket is a persistent list kept
+   sorted by (priority desc, id asc).  [lookup] therefore returns the
+   first matching rule of a bucket, [snapshot] shares buckets with the
+   live table, and a bucket is never mutated in place — installs and
+   removals rebuild the (short) list. *)
+type t = {
+  mutable buckets : (int, rule list) Hashtbl.t;
+  mutable next_id : int;
+  mutable total : int;
+  mutable on_size_change : int -> unit;
+}
+
+let create () =
+  {
+    buckets = Hashtbl.create 16;
+    next_id = 0;
+    total = 0;
+    on_size_change = ignore;
+  }
+
+let on_size_change t f = t.on_size_change <- f
+
+let bucket t dst = match Hashtbl.find_opt t.buckets dst with
+  | Some b -> b
+  | None -> []
+
+let set_bucket t dst = function
+  | [] -> Hashtbl.remove t.buckets dst
+  | b -> Hashtbl.replace t.buckets dst b
+
+let rec insert_sorted rule = function
+  | [] -> [ rule ]
+  | r :: rest as l ->
+      if better r rule then r :: insert_sorted rule rest else rule :: l
 
 let install t ~priority ~dst ~tag_match action =
   let rule = { id = t.next_id; priority; dst; tag_match; action } in
   t.next_id <- t.next_id + 1;
-  t.rules <- rule :: t.rules;
+  set_bucket t dst (insert_sorted rule (bucket t dst));
+  t.total <- t.total + 1;
+  t.on_size_change 1;
   rule
 
 let same_match rule ~dst ~tag_match = rule.dst = dst && rule.tag_match = tag_match
 
 let modify_actions t ~dst ~tag_match action =
   let changed = ref 0 in
-  t.rules <-
+  let b =
     List.map
       (fun r ->
-        if same_match r ~dst ~tag_match then begin
+        if r.tag_match = tag_match then begin
           incr changed;
           { r with action }
         end
         else r)
-      t.rules;
+      (bucket t dst)
+  in
+  if !changed > 0 then set_bucket t dst b;
   !changed
 
 let remove t ~dst ~tag_match =
-  let before = List.length t.rules in
-  t.rules <- List.filter (fun r -> not (same_match r ~dst ~tag_match)) t.rules;
-  before - List.length t.rules
+  let removed = ref 0 in
+  let b =
+    List.filter
+      (fun r ->
+        if r.tag_match = tag_match then begin
+          incr removed;
+          false
+        end
+        else true)
+      (bucket t dst)
+  in
+  if !removed > 0 then begin
+    set_bucket t dst b;
+    t.total <- t.total - !removed;
+    t.on_size_change (- !removed)
+  end;
+  !removed
 
 let tag_ok tag_match tag =
   match (tag_match, tag) with
@@ -49,37 +111,37 @@ let tag_ok tag_match tag =
   | Tag _, None -> false
 
 let lookup t ~dst ~tag =
-  let candidates =
-    List.filter (fun r -> r.dst = dst && tag_ok r.tag_match tag) t.rules
+  Obs.Counter.incr c_lookups;
+  (* The bucket is sorted by (priority desc, id asc), so the first rule
+     whose tag constraint is satisfied is the best match. *)
+  let rec first = function
+    | [] -> None
+    | r :: rest -> if tag_ok r.tag_match tag then Some r else first rest
   in
-  let better a b =
-    a.priority > b.priority || (a.priority = b.priority && a.id < b.id)
-  in
-  List.fold_left
-    (fun best r ->
-      match best with
-      | None -> Some r
-      | Some b -> if better r b then Some r else best)
-    None candidates
+  first (bucket t dst)
 
-type snapshot = rule list
+type snapshot = { s_buckets : (int, rule list) Hashtbl.t; s_total : int }
 
-let snapshot t = t.rules
+let snapshot t = { s_buckets = Hashtbl.copy t.buckets; s_total = t.total }
 
 let restore t s =
   (* next_id stays monotone: rules installed after a restore are younger
      than every surviving snapshot rule, so tie-breaks stay stable. *)
-  t.rules <- s
+  let delta = s.s_total - t.total in
+  t.buckets <- Hashtbl.copy s.s_buckets;
+  t.total <- s.s_total;
+  if delta <> 0 then t.on_size_change delta
 
-let size t = List.length t.rules
+let size t = t.total
 
 let rules t =
+  let all = Hashtbl.fold (fun _ b acc -> List.rev_append b acc) t.buckets [] in
   List.sort
     (fun a b ->
       match compare b.priority a.priority with
       | 0 -> compare a.id b.id
       | c -> c)
-    t.rules
+    all
 
 let pp_forward ppf = function
   | Out v -> Format.fprintf ppf "output:v%d" v
@@ -99,3 +161,72 @@ let pp ppf t =
         pp_forward r.action.forward)
     (rules t);
   Format.fprintf ppf "@]"
+
+(* The seed list implementation, kept verbatim (modulo the single-pass
+   [remove]) as the reference model for the QCheck differential suite
+   and the microbenchmark baseline. *)
+module Legacy = struct
+  type table = { mutable l_rules : rule list; mutable l_next_id : int }
+  type t = table
+
+  let create () = { l_rules = []; l_next_id = 0 }
+
+  let install t ~priority ~dst ~tag_match action =
+    let rule = { id = t.l_next_id; priority; dst; tag_match; action } in
+    t.l_next_id <- t.l_next_id + 1;
+    t.l_rules <- rule :: t.l_rules;
+    rule
+
+  let modify_actions t ~dst ~tag_match action =
+    let changed = ref 0 in
+    t.l_rules <-
+      List.map
+        (fun r ->
+          if same_match r ~dst ~tag_match then begin
+            incr changed;
+            { r with action }
+          end
+          else r)
+        t.l_rules;
+    !changed
+
+  let remove t ~dst ~tag_match =
+    let removed = ref 0 in
+    t.l_rules <-
+      List.filter
+        (fun r ->
+          if same_match r ~dst ~tag_match then begin
+            incr removed;
+            false
+          end
+          else true)
+        t.l_rules;
+    !removed
+
+  let lookup t ~dst ~tag =
+    let candidates =
+      List.filter (fun r -> r.dst = dst && tag_ok r.tag_match tag) t.l_rules
+    in
+    List.fold_left
+      (fun best r ->
+        match best with
+        | None -> Some r
+        | Some b -> if better r b then Some r else best)
+      None candidates
+
+  type snapshot = rule list
+
+  let snapshot t = t.l_rules
+
+  let restore t s = t.l_rules <- s
+
+  let size t = List.length t.l_rules
+
+  let rules t =
+    List.sort
+      (fun a b ->
+        match compare b.priority a.priority with
+        | 0 -> compare a.id b.id
+        | c -> c)
+      t.l_rules
+end

@@ -13,6 +13,9 @@ type t = {
   interval : Sim_time.t;
   previous : (int * int, int) Hashtbl.t;
   samples : (int * int, sample list) Hashtbl.t;
+  (* Running per-link peak, so [peak]/[busiest_link] don't refold the
+     whole sample history on every call. *)
+  peaks : (int * int, float) Hashtbl.t;
   mutable peak_rules : int;
   mutable stop_at : Sim_time.t option;
   mutable transient_loops : int;
@@ -41,6 +44,10 @@ let take_sample t =
         Option.value ~default:[] (Hashtbl.find_opt t.samples link)
       in
       Hashtbl.replace t.samples link (s :: history);
+      let best =
+        Option.value ~default:0. (Hashtbl.find_opt t.peaks link)
+      in
+      if mbps > best then Hashtbl.replace t.peaks link mbps;
       if mbps > Network.link_capacity_mbps t.net link then begin
         t.overload_samples <- t.overload_samples + 1;
         Obs.Counter.incr c_overloads
@@ -55,6 +62,7 @@ let create ?(interval = Sim_time.sec 1) net =
       interval;
       previous = Hashtbl.create 32;
       samples = Hashtbl.create 32;
+      peaks = Hashtbl.create 32;
       peak_rules = Network.total_rules net;
       stop_at = None;
       transient_loops = 0;
@@ -89,7 +97,7 @@ let series t link =
   List.rev (Option.value ~default:[] (Hashtbl.find_opt t.samples link))
 
 let peak t link =
-  List.fold_left (fun acc s -> Float.max acc s.mbps) 0. (series t link)
+  Option.value ~default:0. (Hashtbl.find_opt t.peaks link)
 
 let busiest_link t =
   Hashtbl.fold

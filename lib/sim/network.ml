@@ -1,3 +1,9 @@
+module Obs = Chronus_obs.Obs
+
+(* High-water mark of a network's total installed rules; fed by the
+   per-table size observers so it costs O(1) per flow-mod. *)
+let g_rules_high_water = Obs.Gauge.v "sim.rules_high_water"
+
 type drop_reason = No_rule | Hop_limit
 
 type stats = {
@@ -16,6 +22,7 @@ type t = {
   engine : Engine.t;
   tables : (int, Flow_table.t) Hashtbl.t;
   link_map : (int * int, link_state) Hashtbl.t;
+  mutable rules_total : int;
   mutable delivered_bytes : int;
   mutable dropped_no_rule : int;
   mutable dropped_loop : int;
@@ -29,6 +36,7 @@ let create engine =
     engine;
     tables = Hashtbl.create 64;
     link_map = Hashtbl.create 64;
+    rules_total = 0;
     delivered_bytes = 0;
     dropped_no_rule = 0;
     dropped_loop = 0;
@@ -38,8 +46,13 @@ let create engine =
 let engine t = t.engine
 
 let add_switch t v =
-  if not (Hashtbl.mem t.tables v) then
-    Hashtbl.replace t.tables v (Flow_table.create ())
+  if not (Hashtbl.mem t.tables v) then begin
+    let table = Flow_table.create () in
+    Flow_table.on_size_change table (fun delta ->
+        t.rules_total <- t.rules_total + delta;
+        Obs.Gauge.observe g_rules_high_water t.rules_total);
+    Hashtbl.replace t.tables v table
+  end
 
 let add_link t ~capacity_mbps ~delay u v =
   add_switch t u;
@@ -114,7 +127,9 @@ let stats t =
     dropped_loop = t.dropped_loop;
   }
 
-let total_rules t =
-  Hashtbl.fold (fun _ table acc -> acc + Flow_table.size table) t.tables 0
+(* O(1): maintained incrementally by the per-table size observers, so
+   callers polling it after every command (Controller.apply, Monitor)
+   no longer rescan every switch. *)
+let total_rules t = t.rules_total
 
 let on_drop t f = t.drop_observers <- t.drop_observers @ [ f ]

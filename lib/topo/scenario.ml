@@ -104,6 +104,67 @@ let mixed ~rng s =
   | 1 -> segment_reversal ~rng s
   | _ -> shortcut ~rng s
 
+let fat_tree_reroute ?(params = Topology.default) ~rng k =
+  if k < 4 || k mod 2 <> 0 then
+    invalid_arg "Scenario.fat_tree_reroute: k must be even and >= 4";
+  let g = Topology.fat_tree ~params k in
+  let half = k / 2 in
+  let core_count = half * half in
+  let agg pod i = core_count + (pod * k) + i in
+  let edge pod i = core_count + (pod * k) + half + i in
+  (* A pod-to-pod flow rerouted between two node-disjoint 4-hop routes:
+     distinct aggregation indices reach distinct core groups, so the two
+     paths share only their endpoints and the update never congests. *)
+  let pod_a = Rng.int rng k in
+  let pod_b = (pod_a + 1 + Rng.int rng (k - 1)) mod k in
+  let src = edge pod_a (Rng.int rng half) in
+  let dst = edge pod_b (Rng.int rng half) in
+  let a1 = Rng.int rng half in
+  let a2 = (a1 + 1 + Rng.int rng (half - 1)) mod half in
+  let core_of a = (a * half) + Rng.int rng half in
+  let p_init = [ src; agg pod_a a1; core_of a1; agg pod_b a1; dst ] in
+  let p_fin = [ src; agg pod_a a2; core_of a2; agg pod_b a2; dst ] in
+  Instance.create ~graph:g ~demand:1 ~p_init ~p_fin
+
+let without_edge g (a, b) =
+  let g' = Graph.create ~size:(Graph.node_count g) () in
+  List.iter (fun v -> Graph.add_node g' v) (Graph.nodes g);
+  List.iter
+    (fun (u, v, (e : Graph.edge)) ->
+      if not (u = a && v = b) then
+        Graph.add_edge ~capacity:e.Graph.capacity ~delay:e.Graph.delay g' u v)
+    (Graph.edges g);
+  g'
+
+let detour ~rng g =
+  (* A WAN-style reroute on an arbitrary topology: route a random
+     distant pair along its min-hop path, then fail that path's first
+     link and reroute along the min-hop detour. On 2-edge-connected
+     graphs (ring-based WANs, B4) the detour always exists. *)
+  let nodes = Graph.nodes g in
+  let n = List.length nodes in
+  if n < 4 then invalid_arg "Scenario.detour: need at least 4 nodes";
+  let node i = List.nth nodes i in
+  let rec draw attempts =
+    if attempts = 0 then invalid_arg "Scenario.detour: no distant pair"
+    else
+      let src = node (Rng.int rng n) in
+      let dst = node (Rng.int rng n) in
+      if src = dst then draw (attempts - 1)
+      else
+        match Shortest.hop_path g src dst with
+        | Some p_init when List.length p_init >= 3 -> (src, dst, p_init)
+        | _ -> draw (attempts - 1)
+  in
+  let src, dst, p_init = draw 64 in
+  let second = List.nth p_init 1 in
+  let p_fin =
+    match Shortest.hop_path (without_edge g (src, second)) src dst with
+    | Some p -> p
+    | None -> p_init
+  in
+  Instance.create ~graph:g ~demand:1 ~p_init ~p_fin
+
 let long_chain ~rng s =
   (* One reversed segment of bounded length at a random position in an
      n-switch chain: the flow's path — and hence every drain horizon,

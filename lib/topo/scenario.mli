@@ -52,6 +52,21 @@ val random_pair : rng:Rng.t -> spec -> Instance.t
 val mixed : rng:Rng.t -> spec -> Instance.t
 (** Uniformly one of {!random_final}, {!segment_reversal}, {!shortcut}. *)
 
+val fat_tree_reroute :
+  ?params:Topology.params -> rng:Rng.t -> int -> Instance.t
+(** [fat_tree_reroute ~rng k]: a pod-to-pod flow in a k-ary fat-tree
+    rerouted between two node-disjoint 4-hop routes (distinct
+    aggregation/core pairs). The instance's graph is the {e full}
+    fat-tree, so executors drive the whole topology, not just the path
+    union. @raise Invalid_argument on odd or small [k]. *)
+
+val detour : rng:Rng.t -> Chronus_graph.Graph.t -> Instance.t
+(** WAN-style reroute on an arbitrary topology: a random distant pair is
+    routed along its min-hop path, then that path's first link fails and
+    the flow moves to the min-hop detour. The graph should be
+    2-edge-connected ({!Topology.wan}, {!Topology.b4}); with no detour
+    the instance degenerates to an empty update. *)
+
 val long_chain : rng:Rng.t -> spec -> Instance.t
 (** Scale generator for Fig. 10: a path through all [n] switches with one
     reversed segment of bounded length at a random position. Path lengths

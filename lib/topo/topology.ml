@@ -151,6 +151,40 @@ let fat_tree ?(params = default) k =
   done;
   g
 
+(* Google's B4 inter-datacenter WAN (Jain et al., SIGCOMM'13, Fig. 1):
+   twelve sites, nineteen bidirectional inter-site links. *)
+let b4_links =
+  [
+    (0, 1); (0, 2); (1, 2); (1, 4); (2, 4); (3, 4); (3, 5); (4, 5); (4, 6);
+    (5, 7); (6, 7); (6, 8); (7, 8); (7, 9); (8, 9); (8, 10); (9, 10);
+    (9, 11); (10, 11);
+  ]
+
+let b4 ?(params = default) () =
+  let g = with_nodes 12 in
+  List.iter (fun (u, v) -> bidir ~params g u v) b4_links;
+  g
+
+let wan ?(params = default) ~rng n =
+  if n < 4 then invalid_arg "Topology.wan: need at least 4 sites";
+  (* A resilience ring plus ~n/2 random chords: average degree ~3, the
+     shape of real inter-datacenter WANs (B4 averages 3.2). The ring
+     keeps the graph 2-edge-connected, so any single link always has a
+     detour. *)
+  let g = ring ~params n in
+  let chords = ref (n / 2) in
+  let attempts = ref (20 * n) in
+  while !chords > 0 && !attempts > 0 do
+    decr attempts;
+    let u = Rng.int rng n in
+    let v = Rng.int rng n in
+    if u <> v && not (Graph.mem_edge g u v) then begin
+      bidir ~params g u v;
+      decr chords
+    end
+  done;
+  g
+
 let remap_edges f g =
   let g' = Graph.create ~size:(Graph.node_count g) () in
   List.iter (fun v -> Graph.add_node g' v) (Graph.nodes g);

@@ -46,6 +46,16 @@ val fat_tree : ?params:params -> int -> Graph.t
     [k/2] edge switches per pod, [k] pods; bidirectional links. Hosts are
     not modelled. @raise Invalid_argument on odd [k]. *)
 
+val b4 : ?params:params -> unit -> Graph.t
+(** Google's B4 inter-datacenter WAN (Jain et al., SIGCOMM'13): twelve
+    sites, nineteen bidirectional links. *)
+
+val wan : ?params:params -> rng:Rng.t -> int -> Graph.t
+(** [wan ~rng n]: a B4-like inter-datacenter WAN with [n] sites — a
+    resilience ring plus [n/2] random chords (average degree ~3). The
+    ring keeps the graph 2-edge-connected, so every link has a detour.
+    @raise Invalid_argument when [n < 4]. *)
+
 val randomize_delays :
   rng:Rng.t -> lo:int -> hi:int -> Graph.t -> Graph.t
 (** Fresh graph with every delay redrawn uniformly from [[lo, hi]]. *)

@@ -1,0 +1,160 @@
+(* Differential suite: the indexed Flow_table against the legacy list
+   implementation it replaced. Random operation sequences — installs,
+   modifies, removes, snapshots, crash-restarts — must leave both
+   structures in states that agree exactly: same sizes, same counts
+   returned, same (priority, id) tie-breaks on every lookup, same
+   [rules] listing. *)
+
+open Chronus_sim
+module FT = Flow_table
+module L = Flow_table.Legacy
+
+let n_dsts = 5
+let tags = [ FT.Any_tag; FT.Tag 1; FT.Tag 2 ]
+let queries = [ None; Some 1; Some 2; Some 3 ]
+
+let rule_pp (r : FT.rule) =
+  Printf.sprintf "{id=%d; prio=%d; dst=%d}" r.FT.id r.FT.priority r.FT.dst
+
+let agree t l =
+  if FT.size t <> L.size l then failwith "size mismatch";
+  let rt = FT.rules t and rl = L.rules l in
+  if rt <> rl then
+    failwith
+      (Printf.sprintf "rules mismatch: [%s] vs [%s]"
+         (String.concat ";" (List.map rule_pp rt))
+         (String.concat ";" (List.map rule_pp rl)));
+  for dst = 0 to n_dsts - 1 do
+    List.iter
+      (fun tag ->
+        let a = FT.lookup t ~dst ~tag and b = L.lookup l ~dst ~tag in
+        if a <> b then
+          failwith
+            (Printf.sprintf "lookup dst=%d tag=%s: %s vs %s" dst
+               (match tag with None -> "-" | Some v -> string_of_int v)
+               (match a with None -> "none" | Some r -> rule_pp r)
+               (match b with None -> "none" | Some r -> rule_pp r)))
+      queries
+  done
+
+let random_action rng =
+  {
+    FT.set_tag =
+      (if Chronus_topo.Rng.bool rng then
+         Some (Chronus_topo.Rng.int rng 3)
+       else None);
+    FT.forward =
+      (match Chronus_topo.Rng.int rng 3 with
+      | 0 -> FT.Out (Chronus_topo.Rng.int rng n_dsts)
+      | 1 -> FT.To_host
+      | _ -> FT.Drop);
+  }
+
+(* One differential run from a seed: both tables see the identical
+   operation sequence; any state divergence raises. *)
+let run_ops seed =
+  let rng = Chronus_topo.Rng.derive seed [ 81 ] in
+  let t = FT.create () and l = L.create () in
+  let snaps = ref [] in
+  for _ = 1 to 120 do
+    let dst = Chronus_topo.Rng.int rng n_dsts in
+    let tag_match = Chronus_topo.Rng.pick rng tags in
+    (match Chronus_topo.Rng.int rng 8 with
+    | 0 | 1 | 2 | 3 ->
+        let priority = Chronus_topo.Rng.int rng 3 in
+        let action = random_action rng in
+        let a = FT.install t ~priority ~dst ~tag_match action in
+        let b = L.install l ~priority ~dst ~tag_match action in
+        if a <> b then failwith "install returned different rules"
+    | 4 ->
+        let action = random_action rng in
+        let a = FT.modify_actions t ~dst ~tag_match action in
+        let b = L.modify_actions l ~dst ~tag_match action in
+        if a <> b then failwith "modify_actions count mismatch"
+    | 5 ->
+        let a = FT.remove t ~dst ~tag_match in
+        let b = L.remove l ~dst ~tag_match in
+        if a <> b then failwith "remove count mismatch"
+    | 6 -> snaps := (FT.snapshot t, L.snapshot l) :: !snaps
+    | _ -> (
+        (* Crash-restart: both revert to the same persisted state; ids
+           installed afterwards must stay younger on both sides. *)
+        match !snaps with
+        | [] -> ()
+        | (st, sl) :: _ ->
+            FT.restore t st;
+            L.restore l sl));
+    agree t l
+  done;
+  true
+
+let differential =
+  QCheck.Test.make ~count:80 ~name:"indexed table = legacy list on random ops"
+    QCheck.small_nat run_ops
+
+(* The satellite fix: remove must report the number of removed rules
+   (single pass), on both implementations. *)
+let test_remove_count () =
+  let act = { FT.set_tag = None; forward = FT.To_host } in
+  let t = FT.create () and l = L.create () in
+  List.iter
+    (fun i ->
+      ignore (FT.install t ~priority:i ~dst:7 ~tag_match:FT.Any_tag act);
+      ignore (L.install l ~priority:i ~dst:7 ~tag_match:FT.Any_tag act))
+    [ 0; 1; 2 ];
+  ignore (FT.install t ~priority:0 ~dst:7 ~tag_match:(FT.Tag 1) act);
+  ignore (L.install l ~priority:0 ~dst:7 ~tag_match:(FT.Tag 1) act);
+  Alcotest.(check int) "indexed removes 3" 3 (FT.remove t ~dst:7 ~tag_match:FT.Any_tag);
+  Alcotest.(check int) "legacy removes 3" 3 (L.remove l ~dst:7 ~tag_match:FT.Any_tag);
+  Alcotest.(check int) "indexed keeps the tagged rule" 1 (FT.size t);
+  Alcotest.(check int) "legacy keeps the tagged rule" 1 (L.size l);
+  Alcotest.(check int) "removing nothing reports 0" 0
+    (FT.remove t ~dst:9 ~tag_match:FT.Any_tag)
+
+(* Snapshots share buckets with the live table: mutating after a
+   snapshot must not leak into it. *)
+let test_snapshot_isolated () =
+  let act v = { FT.set_tag = None; forward = FT.Out v } in
+  let t = FT.create () in
+  ignore (FT.install t ~priority:1 ~dst:0 ~tag_match:FT.Any_tag (act 1));
+  let snap = FT.snapshot t in
+  ignore (FT.install t ~priority:2 ~dst:0 ~tag_match:FT.Any_tag (act 2));
+  ignore (FT.modify_actions t ~dst:0 ~tag_match:FT.Any_tag (act 3));
+  Alcotest.(check int) "live table has 2 rules" 2 (FT.size t);
+  FT.restore t snap;
+  Alcotest.(check int) "restore rewinds to 1 rule" 1 (FT.size t);
+  (match FT.lookup t ~dst:0 ~tag:None with
+  | Some r -> Alcotest.(check bool) "restored action" true (r.FT.action = act 1)
+  | None -> Alcotest.fail "rule lost");
+  (* next_id is not rewound: post-restore installs lose priority ties. *)
+  let fresh = FT.install t ~priority:1 ~dst:0 ~tag_match:FT.Any_tag (act 9) in
+  Alcotest.(check bool) "post-restore id younger" true (fresh.FT.id >= 2);
+  match FT.lookup t ~dst:0 ~tag:None with
+  | Some r -> Alcotest.(check int) "older rule still wins the tie" 0 r.FT.id
+  | None -> Alcotest.fail "rule lost"
+
+let test_size_observer () =
+  let act = { FT.set_tag = None; forward = FT.To_host } in
+  let t = FT.create () in
+  let total = ref 0 in
+  FT.on_size_change t (fun d -> total := !total + d);
+  ignore (FT.install t ~priority:0 ~dst:1 ~tag_match:FT.Any_tag act);
+  ignore (FT.install t ~priority:0 ~dst:1 ~tag_match:FT.Any_tag act);
+  let snap = FT.snapshot t in
+  ignore (FT.install t ~priority:0 ~dst:2 ~tag_match:FT.Any_tag act);
+  Alcotest.(check int) "observer tracked installs" 3 !total;
+  ignore (FT.remove t ~dst:1 ~tag_match:FT.Any_tag);
+  Alcotest.(check int) "observer tracked removal" 1 !total;
+  FT.restore t snap;
+  Alcotest.(check int) "observer tracked restore delta" 2 !total;
+  Alcotest.(check int) "observer agrees with size" (FT.size t) !total
+
+let suite =
+  ( "flow-table",
+    [
+      QCheck_alcotest.to_alcotest differential;
+      Alcotest.test_case "remove counts in one pass" `Quick test_remove_count;
+      Alcotest.test_case "snapshot isolation + monotone ids" `Quick
+        test_snapshot_isolated;
+      Alcotest.test_case "size observer" `Quick test_size_observer;
+    ] )
