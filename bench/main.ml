@@ -40,6 +40,7 @@ type suite = {
   fig9 : E.Fig9.row list;
   fig10 : E.Fig10.row list;
   fig_scale : E.Fig_scale.row list;
+  fig_service : E.Fig_service.row list;
   fig11 : E.Fig11.result;
   robust : E.Fig_robust.row list;
   ablation : E.Ablation.row list;
@@ -50,9 +51,10 @@ type suite = {
           the determinism digest (metrics observe, never decide) *)
 }
 
-(* Everything except Fig. 10's and the scale figure's measured timings
-   is a pure function of (scale, seed), so the digest must match between
-   a sequential and a parallel pass bit for bit. *)
+(* Everything except the measured timings of Fig. 10, the scale figure
+   and the service figure is a pure function of (scale, seed), so the
+   digest must match between a sequential and a parallel pass bit for
+   bit. *)
 let digest s =
   Digest.string
     (Marshal.to_string
@@ -89,6 +91,9 @@ let run_suite ~jobs scale =
   let fig_scale =
     measured E.Fig_scale.name (fun () -> E.Fig_scale.run ~jobs ~scale ())
   in
+  let fig_service =
+    measured E.Fig_service.name (fun () -> E.Fig_service.run ~jobs ~scale ())
+  in
   let t3 = now () in
   {
     table2;
@@ -98,6 +103,7 @@ let run_suite ~jobs scale =
     fig9;
     fig10;
     fig_scale;
+    fig_service;
     fig11;
     robust;
     ablation;
@@ -130,6 +136,7 @@ let print_suite ?(metrics = false) s =
   figure E.Fig9.name E.Fig9.print s.fig9;
   figure E.Fig10.name E.Fig10.print s.fig10;
   figure E.Fig_scale.name E.Fig_scale.print s.fig_scale;
+  figure E.Fig_service.name E.Fig_service.print s.fig_service;
   figure E.Fig11.name E.Fig11.print s.fig11;
   figure E.Fig_robust.name E.Fig_robust.print s.robust;
   figure E.Ablation.name E.Ablation.print s.ablation
@@ -529,6 +536,39 @@ let scale_json suite =
              ] ))
        suite.fig_scale)
 
+(* chronus-bench/6: the update-service figure, one entry per offered
+   rate — deterministic admission/commit columns, a derived denial rate,
+   and the wall-measured throughput and latency percentiles. As with the
+   scale rows, the wall columns never enter the determinism digest. *)
+let service_json suite =
+  Json.Obj
+    (List.map
+       (fun (r : E.Fig_service.row) ->
+         let denial_rate =
+           if r.E.Fig_service.submitted > 0 then
+             Json.Float
+               (float_of_int r.E.Fig_service.denied
+               /. float_of_int r.E.Fig_service.submitted)
+           else Json.Null
+         in
+         ( Printf.sprintf "rate-%d" r.E.Fig_service.offered_per_round,
+           Json.Obj
+             [
+               ("rounds", Json.Int r.E.Fig_service.rounds);
+               ("flows", Json.Int r.E.Fig_service.flows);
+               ("submitted", Json.Int r.E.Fig_service.submitted);
+               ("committed", Json.Int r.E.Fig_service.committed);
+               ("serialized", Json.Int r.E.Fig_service.serialized);
+               ("denied", Json.Int r.E.Fig_service.denied);
+               ("batches", Json.Int r.E.Fig_service.batches);
+               ("denial_rate", denial_rate);
+               ("mean_makespan", Json.Float r.E.Fig_service.mean_makespan);
+               ("throughput_per_s", Json.Float r.E.Fig_service.throughput_per_s);
+               ("p50_ms", Json.Float r.E.Fig_service.p50_ms);
+               ("p99_ms", Json.Float r.E.Fig_service.p99_ms);
+             ] ))
+       suite.fig_service)
+
 let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let experiments_json =
     match experiments with
@@ -564,7 +604,7 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/5");
+        ("schema", Json.String "chronus-bench/6");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("experiments", experiments_json);
@@ -572,6 +612,10 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
           match experiments with
           | None -> Json.Null
           | Some (seq, _) -> scale_json seq );
+        ( "service",
+          match experiments with
+          | None -> Json.Null
+          | Some (seq, _) -> service_json seq );
         ("oracle_cache", oracle_cache_json ~micro);
         ("faults", faults_json ());
         ("metrics", metrics_json ());

@@ -99,7 +99,7 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, scale, ablation, all.")
+          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, scale, service, ablation, all.")
   in
   let run which scale_name jobs metrics =
     let module Obs = Chronus_obs.Obs in
@@ -119,6 +119,7 @@ let experiment_cmd =
       | "fig11" -> E.Fig11.print (E.Fig11.run ~jobs ~scale ())
       | "robust" -> E.Fig_robust.print (E.Fig_robust.run ~jobs ~scale ())
       | "scale" -> E.Fig_scale.print (E.Fig_scale.run ~jobs ~scale ())
+      | "service" -> E.Fig_service.print (E.Fig_service.run ~jobs ~scale ())
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
@@ -143,7 +144,7 @@ let experiment_cmd =
             print_newline ())
           [
             "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-            "robust"; "scale"; "ablation";
+            "robust"; "scale"; "service"; "ablation";
           ]
     | w -> dispatch w);
     0

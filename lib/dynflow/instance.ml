@@ -136,3 +136,77 @@ let pp ppf i =
   Format.fprintf ppf
     "@[<v>instance: demand %d@,initial: %a@,final:   %a@,updates: %d@]"
     i.demand Path.pp i.p_init Path.pp i.p_fin (update_count i)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-flow instances: N dynamic flows sharing one graph, interacting
+   only through link capacities. Each flow projects to a single-flow [t]
+   for the schedulers; the cross-flow interaction is carried by the
+   [background] closure the oracle's capacity scan consults. *)
+
+type flow = { fid : int; f_demand : int; f_init : Path.t; f_fin : Path.t }
+
+type multi = { m_graph : Graph.t; m_flows : flow list }
+
+(* Same packed directed-link keys as the oracle's capacity table. *)
+let pack2 u v = (u lsl 21) lor v
+
+let background loads =
+  let tbl = Itbl.create 64 in
+  List.iter
+    (fun (demand, path) ->
+      List.iter
+        (fun (u, v) ->
+          let key = pack2 u v in
+          let prior = Option.value ~default:0 (Itbl.find_opt tbl key) in
+          Itbl.replace tbl key (prior + demand))
+        (Path.edges path))
+    loads;
+  fun u v -> Option.value ~default:0 (Itbl.find_opt tbl (pack2 u v))
+
+let check_joint g label loads =
+  let bg = background loads in
+  List.iter
+    (fun (u, v, e) ->
+      let load = bg u v in
+      if load > e.Graph.capacity then
+        ill_formed
+          "%s steady state overloads link v%d -> v%d (joint load %d > \
+           capacity %d)"
+          label u v load e.Graph.capacity)
+    (Graph.edges g)
+
+let create_multi ~graph flows =
+  let seen = Itbl.create (List.length flows) in
+  List.iter
+    (fun f ->
+      if f.fid < 0 then ill_formed "flow id must be non-negative, got %d" f.fid;
+      if Itbl.mem seen f.fid then ill_formed "duplicate flow id %d" f.fid;
+      Itbl.replace seen f.fid ();
+      (* Per-flow validation is exactly the single-flow contract. *)
+      ignore
+        (create ~graph ~demand:f.f_demand ~p_init:f.f_init ~p_fin:f.f_fin))
+    flows;
+  check_joint graph "initial"
+    (List.map (fun f -> (f.f_demand, f.f_init)) flows);
+  check_joint graph "final" (List.map (fun f -> (f.f_demand, f.f_fin)) flows);
+  {
+    m_graph = graph;
+    m_flows = List.sort (fun a b -> Int.compare a.fid b.fid) flows;
+  }
+
+let flows m = m.m_flows
+
+let find_flow m fid = List.find_opt (fun f -> f.fid = fid) m.m_flows
+
+let flow_instance m f =
+  create ~graph:m.m_graph ~demand:f.f_demand ~p_init:f.f_init ~p_fin:f.f_fin
+
+let residual_graph g bg =
+  let r = Graph.create ~size:(Graph.node_count g) () in
+  List.iter (fun v -> Graph.add_node r v) (Graph.nodes g);
+  List.iter
+    (fun (u, v, e) ->
+      let capacity = e.Graph.capacity - bg u v in
+      if capacity > 0 then Graph.add_edge ~capacity ~delay:e.Graph.delay r u v)
+    (Graph.edges g);
+  r

@@ -181,6 +181,8 @@ type ctx = {
   a_new_dl : int array;  (** delay of v -> a_new.(v) *)
   a_prefix : int array;  (** old-path prefix delay; [min_int] = off-path *)
   caps : int Itbl.t;  (** packed (u, v) -> capacity, for the load scan *)
+  bg : Graph.node -> Graph.node -> int;
+      (** steady cross-flow load per link, added in the capacity scan *)
   flip : int array;  (** scratch: flip time of the schedule being traced *)
   stamp : int array;  (** scratch: visited marks, valid when = [gen] *)
   mutable gen : int;
@@ -188,7 +190,9 @@ type ctx = {
 
 let pack2 u v = (u lsl 21) lor v
 
-let make_ctx inst =
+let no_background _ _ = 0
+
+let make_ctx ?(background = no_background) inst =
   let g = inst.Instance.graph in
   let nodes = Graph.nodes g in
   let nn = 1 + List.fold_left max 0 nodes in
@@ -233,6 +237,7 @@ let make_ctx inst =
     a_new_dl;
     a_prefix;
     caps;
+    bg = background;
     flip = Array.make nn max_int;
     stamp = Array.make nn 0;
     gen = 0;
@@ -437,7 +442,9 @@ let assemble inst ctx params sims =
   Itbl.iter
     (fun key load ->
       let u, v, t = unpack key in
-      let load = load + extra_load u v t in
+      (* Steady cross-flow load shares the link at every step the dynamic
+         flow enters it; see the [?background] contract in the .mli. *)
+      let load = load + extra_load u v t + ctx.bg u v in
       if load > !peak then peak := load;
       let capacity = edge_cap ctx u v in
       if load > capacity then begin
@@ -459,9 +466,9 @@ let assemble inst ctx params sims =
     window = (tau_start, stable_from);
   }
 
-let evaluate inst sched =
+let evaluate ?background inst sched =
   Obs.Counter.incr c_full;
-  let ctx = make_ctx inst in
+  let ctx = make_ctx ?background inst in
   set_flips ctx sched;
   let params = compute_params inst ctx sched in
   let sims = trace_window ctx params in
@@ -499,11 +506,11 @@ let link_loads inst sched =
   Itbl.fold (fun key load acc -> (unpack key, load) :: acc) loads []
   |> List.sort (fun (k1, _) (k2, _) -> compare_key3 k1 k2)
 
-let is_consistent inst sched =
-  Schedule.covers inst sched && (evaluate inst sched).ok
+let is_consistent ?background inst sched =
+  Schedule.covers inst sched && (evaluate ?background inst sched).ok
 
-let congested_link_count inst sched =
-  List.length (evaluate inst sched).congested
+let congested_link_count ?background inst sched =
+  List.length (evaluate ?background inst sched).congested
 
 (* ------------------------------------------------------------------ *)
 (* The incremental engine. A checker is a session over one instance: it
@@ -574,9 +581,9 @@ module Checker = struct
     List.iter (fun s -> Itbl.replace cache s.s_tau s) sims;
     cache
 
-  let create inst sched =
+  let create ?background inst sched =
     Obs.Counter.incr c_full;
-    let ctx = make_ctx inst in
+    let ctx = make_ctx ?background inst in
     set_flips ctx sched;
     let params = compute_params inst ctx sched in
     let sims = trace_window ctx params in

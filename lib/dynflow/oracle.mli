@@ -67,8 +67,29 @@ val trace_from : Instance.t -> Schedule.t -> Graph.node -> int -> cohort
 val compare_violation : violation -> violation -> int
 (** Structural order (same as polymorphic [compare], monomorphically). *)
 
-val evaluate : Instance.t -> Schedule.t -> report
-(** Full validation of a (possibly partial) schedule. *)
+val evaluate :
+  ?background:(Graph.node -> Graph.node -> int) -> Instance.t -> Schedule.t ->
+  report
+(** Full validation of a (possibly partial) schedule.
+
+    [background u v] (default the constant-zero function) is the steady
+    load that {e other} flows place on link [u -> v]: the capacity scan
+    charges it on every step at which the dynamic flow enters the link,
+    so a schedule that is fine in isolation is rejected when shared links
+    cannot absorb the combined load. Two contract points callers must
+    uphold (both hold by construction for
+    {!Chronus_service.Service}-managed updates):
+
+    - [background] is consulted only on links the dynamic flow itself
+      enters. Links carrying background traffic alone are never scanned,
+      so the background configuration must be valid on its own
+      ([background u v <= capacity u v] everywhere, which
+      {!Instance.create_multi} checks for joint steady states).
+    - The function must be pure and constant for the duration of the
+      call: it describes steady routes of flows that are {e not} moving.
+
+    With the default zero background this is byte-identical to the
+    single-flow oracle — all golden digests are preserved. *)
 
 (** The incremental engine: a session over one instance caching a base
     schedule's evaluation — per-cohort traces, packed load entries, the
@@ -91,8 +112,17 @@ val evaluate : Instance.t -> Schedule.t -> report
 module Checker : sig
   type t
 
-  val create : Instance.t -> Schedule.t -> t
-  (** Evaluate [sched] from scratch and cache it as the base. *)
+  val create :
+    ?background:(Graph.node -> Graph.node -> int) -> Instance.t ->
+    Schedule.t -> t
+  (** Evaluate [sched] from scratch and cache it as the base.
+
+      [background] has the same meaning and contract as in {!evaluate}
+      and is captured by the session: every subsequent [probe], [commit]
+      and [rebase] validates against the same cross-flow load. Cached
+      cohort traces are routing state and never depend on the background,
+      so the incremental replay machinery is unchanged — only the final
+      capacity scan reads it. *)
 
   val base : t -> Schedule.t
 
@@ -126,12 +156,17 @@ module Checker : sig
       arbitrary schedule, dropping all frames. *)
 end
 
-val is_consistent : Instance.t -> Schedule.t -> bool
+val is_consistent :
+  ?background:(Graph.node -> Graph.node -> int) -> Instance.t -> Schedule.t ->
+  bool
 (** [true] iff the schedule covers every required switch and [evaluate]
-    reports no violation. *)
+    reports no violation. [background] as in {!evaluate}. *)
 
-val congested_link_count : Instance.t -> Schedule.t -> int
-(** Number of distinct overloaded time-extended links (Fig. 8 metric). *)
+val congested_link_count :
+  ?background:(Graph.node -> Graph.node -> int) -> Instance.t -> Schedule.t ->
+  int
+(** Number of distinct overloaded time-extended links (Fig. 8 metric).
+    [background] as in {!evaluate}. *)
 
 val link_loads :
   Instance.t -> Schedule.t -> ((Graph.node * Graph.node * int) * int) list

@@ -1,0 +1,60 @@
+open Chronus_graph
+open Chronus_flow
+
+type t = {
+  links : (Graph.node * Graph.node) list;
+  switches : Graph.node list;
+  dst : Graph.node;
+}
+
+type conflict =
+  | Shared_link of Graph.node * Graph.node
+  | Shared_destination of Graph.node
+
+let compare_link (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
+let of_paths = function
+  | [] -> invalid_arg "Footprint.of_paths: no paths"
+  | first :: _ as paths ->
+      let links =
+        List.concat_map Path.edges paths
+        |> List.sort_uniq compare_link
+      in
+      let switches =
+        List.concat paths |> List.sort_uniq Int.compare
+      in
+      { links; switches; dst = Path.destination first }
+
+let of_instance inst =
+  of_paths [ inst.Instance.p_init; inst.Instance.p_fin ]
+
+(* Both link lists are sorted, so the first shared link (in lexicographic
+   order, which makes [conflict] deterministic and symmetric) falls out
+   of one merge walk. *)
+let first_shared_link a b =
+  let rec walk xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> None
+    | x :: xs', y :: ys' -> (
+        match compare_link x y with
+        | 0 -> Some x
+        | c when c < 0 -> walk xs' ys
+        | _ -> walk xs ys')
+  in
+  walk a b
+
+let conflict a b =
+  match first_shared_link a.links b.links with
+  | Some (u, v) -> Some (Shared_link (u, v))
+  | None -> if a.dst = b.dst then Some (Shared_destination a.dst) else None
+
+let pp ppf fp =
+  Format.fprintf ppf "@[<h>footprint: %d links, %d switches, dst v%d@]"
+    (List.length fp.links)
+    (List.length fp.switches)
+    fp.dst
+
+let pp_conflict ppf = function
+  | Shared_link (u, v) -> Format.fprintf ppf "shared link v%d -> v%d" u v
+  | Shared_destination d -> Format.fprintf ppf "shared destination v%d" d

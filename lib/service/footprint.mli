@@ -1,0 +1,52 @@
+(** Transaction footprints: the part of the network one update request
+    touches, and the conflict test the service's admission control is
+    built on.
+
+    A request to move flow [f] from its current path to a target path
+    can, during the transition, place load on exactly the directed links
+    of the two paths' union (every transient cohort follows either the
+    old or the new rule at each switch, so it never leaves that union)
+    and rewrite rules on exactly the union's switches. Two requests
+    whose footprints are disjoint therefore commute: neither can observe
+    the other through link load or rule space, so committing them in
+    either order — or concurrently — yields the same final
+    configuration. SERVICE.md states the rule set operators see; this
+    module is its implementation. *)
+
+open Chronus_graph
+open Chronus_flow
+
+type t = private {
+  links : (Graph.node * Graph.node) list;
+      (** directed links of the old∪new path union, sorted *)
+  switches : Graph.node list;  (** switches of the union, sorted *)
+  dst : Graph.node;  (** the flow's destination *)
+}
+(** The footprint of one transaction. Built only by {!of_paths} /
+    {!of_instance}, so the sorted invariants always hold. *)
+
+(** Why two footprints cannot run in the same batch. *)
+type conflict =
+  | Shared_link of Graph.node * Graph.node
+      (** both transitions can load this directed link: capacity
+          validated for one is invalidated by the other *)
+  | Shared_destination of Graph.node
+      (** forwarding rules are destination-keyed, so two updates towards
+          the same destination rewrite the same rule space *)
+
+val of_paths : Path.t list -> t
+(** Footprint of a transaction whose transient traffic is confined to
+    the given paths (for an update request: current path and target
+    path). The destination is taken from the first path.
+    @raise Invalid_argument on an empty list or an empty first path. *)
+
+val of_instance : Instance.t -> t
+(** [of_paths [p_init; p_fin]] of the instance. *)
+
+val conflict : t -> t -> conflict option
+(** The first conflict between two footprints in the order of the
+    {!conflict} type (links before destinations, links in lexicographic
+    order), or [None] when the transactions commute. Symmetric. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,366 @@
+open Chronus_graph
+open Chronus_flow
+module Pool = Chronus_parallel.Pool
+module Obs = Chronus_obs.Obs
+
+(* Observability (see OBSERVABILITY.md): the service counters narrate the
+   request lifecycle — submitted at the door, admitted/serialized/denied
+   by admission control, committed/aborted by the transaction itself.
+   They only observe; no service decision ever reads them. *)
+let c_submitted = Obs.Counter.v "service.submitted"
+let c_admitted = Obs.Counter.v "service.admitted"
+let c_serialized = Obs.Counter.v "service.serialized"
+let c_denied = Obs.Counter.v "service.denied"
+let c_committed = Obs.Counter.v "service.committed"
+let c_aborted = Obs.Counter.v "service.aborted"
+let c_batches = Obs.Counter.v "service.batches"
+let g_queue = Obs.Gauge.v "service.queue_depth"
+let s_txn = Obs.Span.v "service.txn"
+
+type conflict_policy = Serialize | Deny
+
+type denial =
+  | Unknown_flow of int
+  | Invalid_path of string
+  | Queue_full of { limit : int }
+  | Conflict of { with_rid : int; reason : Footprint.conflict }
+  | Capacity of { u : Graph.node; v : Graph.node; need : int; available : int }
+  | Unschedulable of { remaining : int }
+
+type exec_mode =
+  | Validate_only
+  | Simulate of { seed : int; config : Chronus_exec.Exec_env.config }
+
+type exec_summary = {
+  exec_clean : bool;
+  exec_events : int;
+  exec_commands : int;
+}
+
+type verdict =
+  | Committed of { schedule : Schedule.t; makespan : int }
+  | Denied of denial
+
+type outcome = {
+  rid : int;
+  fid : int;
+  target : Path.t;
+  verdict : verdict;
+  batch : int;
+  serialized_after : int list;
+  execution : exec_summary option;
+  wall_ns : int;
+}
+
+type request = {
+  r_rid : int;
+  r_fid : int;
+  r_target : Path.t;
+  r_submitted_ns : int;
+  r_after : int list;  (** rids waited for so far, most recent first *)
+}
+
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  graph : Graph.t;
+  demands : int Itbl.t;  (** fid -> demand, fixed at creation *)
+  route_tbl : Path.t Itbl.t;  (** fid -> current path; the shared state *)
+  mutable queue : request list;  (** pending, most recent first *)
+  mutable next_rid : int;
+  mutable batches : int;
+  queue_limit : int;
+  policy : conflict_policy;
+  exec : exec_mode;
+}
+
+let create ?(queue_limit = 4096) ?(conflict_policy = Serialize)
+    ?(exec = Validate_only) multi =
+  let demands = Itbl.create 16 and route_tbl = Itbl.create 16 in
+  List.iter
+    (fun f ->
+      Itbl.replace demands f.Instance.fid f.Instance.f_demand;
+      Itbl.replace route_tbl f.Instance.fid f.Instance.f_init)
+    (Instance.flows multi);
+  {
+    graph = multi.Instance.m_graph;
+    demands;
+    route_tbl;
+    queue = [];
+    next_rid = 0;
+    batches = 0;
+    queue_limit;
+    policy = conflict_policy;
+    exec;
+  }
+
+let graph t = t.graph
+
+let routes t =
+  Itbl.fold (fun fid p acc -> (fid, p) :: acc) t.route_tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let current_path t fid = Itbl.find_opt t.route_tbl fid
+
+let pending t = List.length t.queue
+
+(* Structural target validation at the door, so every queued request is
+   well-formed and in-batch denials are about capacity and consistency
+   only. *)
+let validate_target t fid target =
+  match Itbl.find_opt t.route_tbl fid with
+  | None -> Some (Unknown_flow fid)
+  | Some current ->
+      let fail fmt = Format.kasprintf (fun s -> Some (Invalid_path s)) fmt in
+      if target = [] then fail "target path is empty"
+      else if not (Path.is_simple target) then fail "target repeats a switch"
+      else if not (Path.is_valid t.graph target) then
+        fail "target uses a link the network does not have"
+      else if Path.source target <> Path.source current then
+        fail "target source v%d differs from the flow's source v%d"
+          (Path.source target) (Path.source current)
+      else if Path.destination target <> Path.destination current then
+        fail "target destination v%d differs from the flow's destination v%d"
+          (Path.destination target)
+          (Path.destination current)
+      else None
+
+let submit t ~fid ~target =
+  Obs.Counter.incr c_submitted;
+  let denial =
+    if List.length t.queue >= t.queue_limit then
+      Some (Queue_full { limit = t.queue_limit })
+    else validate_target t fid target
+  in
+  match denial with
+  | Some d ->
+      Obs.Counter.incr c_denied;
+      Error d
+  | None ->
+      let rid = t.next_rid in
+      t.next_rid <- rid + 1;
+      t.queue <-
+        {
+          r_rid = rid;
+          r_fid = fid;
+          r_target = target;
+          r_submitted_ns = Obs.clock_ns ();
+          r_after = [];
+        }
+        :: t.queue;
+      Obs.Gauge.observe g_queue (List.length t.queue);
+      Ok rid
+
+(* The steady load every flow except [fid] places on the network — the
+   [?background] the oracle charges and the capacity [residual_graph]
+   subtracts. Within a batch the other selected flows sit on their old
+   routes here; that is sound because footprint disjointness means they
+   never touch this transaction's links, before or after their commit. *)
+let background_for t fid =
+  let others =
+    Itbl.fold
+      (fun ofid p acc ->
+        if ofid = fid then acc else (Itbl.find t.demands ofid, p) :: acc)
+      t.route_tbl []
+  in
+  Instance.background others
+
+(* Solve one admitted transaction: project the flow onto its residual
+   network, schedule with the exact greedy, then gate the commit on the
+   full-capacity oracle with the cross-flow background — the equivalence
+   of the two views is asserted differentially in test/suite_service.ml. *)
+let solve t req =
+  let fid = req.r_fid and target = req.r_target in
+  let demand = Itbl.find t.demands fid in
+  let current = Itbl.find t.route_tbl fid in
+  if Path.equal current target then
+    Ok (Schedule.empty, None)
+  else
+    let bg = background_for t fid in
+    let insufficient =
+      List.find_opt
+        (fun (u, v) -> Graph.capacity t.graph u v - bg u v < demand)
+        (Path.edges target)
+    in
+    match insufficient with
+    | Some (u, v) ->
+        Error
+          (Capacity
+             { u; v; need = demand; available = Graph.capacity t.graph u v - bg u v })
+    | None -> (
+        let residual = Instance.residual_graph t.graph bg in
+        match
+          try
+            Ok
+              (Instance.create ~graph:residual ~demand ~p_init:current
+                 ~p_fin:target)
+          with Instance.Ill_formed msg -> Error (Invalid_path msg)
+        with
+        | Error d -> Error d
+        | Ok inst -> (
+            match Chronus_core.Greedy.schedule ~mode:Chronus_core.Greedy.Exact inst with
+            | Chronus_core.Greedy.Infeasible { remaining; _ } ->
+                Error (Unschedulable { remaining = List.length remaining })
+            | Chronus_core.Greedy.Scheduled sched ->
+                let full =
+                  Instance.create ~graph:t.graph ~demand ~p_init:current
+                    ~p_fin:target
+                in
+                let report = Oracle.evaluate ~background:bg full sched in
+                if not (Schedule.covers full sched && report.Oracle.ok) then
+                  Error (Unschedulable { remaining = 0 })
+                else
+                  let execution =
+                    match t.exec with
+                    | Validate_only -> None
+                    | Simulate { seed; config } ->
+                        let run_seed =
+                          Chronus_topo.Rng.int
+                            (Chronus_topo.Rng.derive seed [ 17; req.r_rid ])
+                            0x3FFFFFFF
+                        in
+                        let run =
+                          Chronus_exec.Timed_exec.run ~config ~seed:run_seed
+                            inst
+                        in
+                        let result = run.Chronus_exec.Timed_exec.result in
+                        Some
+                          {
+                            exec_clean =
+                              run.Chronus_exec.Timed_exec.path
+                              = Chronus_exec.Timed_exec.Timed
+                              && Chronus_sim.Monitor.no_violations
+                                   result.Chronus_exec.Exec_env.violations;
+                            exec_events = result.Chronus_exec.Exec_env.events;
+                            exec_commands =
+                              result.Chronus_exec.Exec_env.commands;
+                          }
+                  in
+                  Ok (sched, execution)))
+
+(* One admission round: scan the pending requests in rid order; a request
+   joins the batch iff its footprint conflicts with no already-selected
+   transaction, so earlier requests always win footprint races and the
+   batch composition is independent of the job count. *)
+let select_batch t pending =
+  let selected = ref [] (* (request, footprint), reverse rid order *) in
+  let deferred = ref [] and denied = ref [] in
+  List.iter
+    (fun req ->
+      let fp =
+        Footprint.of_paths [ Itbl.find t.route_tbl req.r_fid; req.r_target ]
+      in
+      let clash =
+        List.find_opt
+          (fun (_, sfp) -> Footprint.conflict fp sfp <> None)
+          (List.rev !selected)
+      in
+      match clash with
+      | None ->
+          Obs.Counter.incr c_admitted;
+          selected := (req, fp) :: !selected
+      | Some (winner, wfp) -> (
+          let reason = Option.get (Footprint.conflict fp wfp) in
+          match t.policy with
+          | Serialize ->
+              Obs.Counter.incr c_serialized;
+              deferred :=
+                { req with r_after = winner.r_rid :: req.r_after } :: !deferred
+          | Deny ->
+              Obs.Counter.incr c_denied;
+              denied :=
+                (req, Conflict { with_rid = winner.r_rid; reason }) :: !denied))
+    pending;
+  (List.rev !selected, List.rev !deferred, List.rev !denied)
+
+let outcome_of t req verdict execution =
+  {
+    rid = req.r_rid;
+    fid = req.r_fid;
+    target = req.r_target;
+    verdict;
+    batch = t.batches;
+    serialized_after = List.rev req.r_after;
+    execution;
+    wall_ns = Obs.clock_ns () - req.r_submitted_ns;
+  }
+
+let process ?jobs t =
+  let outcomes = ref [] in
+  let rec drain pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+        t.batches <- t.batches + 1;
+        Obs.Counter.incr c_batches;
+        let selected, deferred, denied = select_batch t pending in
+        List.iter
+          (fun (req, d) -> outcomes := outcome_of t req (Denied d) None :: !outcomes)
+          denied;
+        let results =
+          Pool.parallel_map ?jobs
+            (fun (req, _) -> Obs.Span.with_h s_txn (fun () -> solve t req))
+            selected
+        in
+        (* Commit sequentially in rid order: route-table writes happen
+           only here, between pool batches, so workers always read a
+           frozen route state. *)
+        List.iter2
+          (fun (req, _) result ->
+            match result with
+            | Ok (sched, execution) ->
+                Obs.Counter.incr c_committed;
+                Itbl.replace t.route_tbl req.r_fid req.r_target;
+                outcomes :=
+                  outcome_of t req
+                    (Committed { schedule = sched; makespan = Schedule.makespan sched })
+                    execution
+                  :: !outcomes
+            | Error d ->
+                Obs.Counter.incr c_aborted;
+                outcomes := outcome_of t req (Denied d) None :: !outcomes)
+          selected results;
+        Obs.Gauge.observe g_queue (List.length deferred);
+        drain deferred
+  in
+  drain (List.sort (fun a b -> Int.compare a.r_rid b.r_rid) t.queue);
+  t.queue <- [];
+  List.sort (fun a b -> Int.compare a.rid b.rid) !outcomes
+
+let pp_denial ppf = function
+  | Unknown_flow fid -> Format.fprintf ppf "unknown flow %d" fid
+  | Invalid_path msg -> Format.fprintf ppf "invalid path: %s" msg
+  | Queue_full { limit } -> Format.fprintf ppf "queue full (limit %d)" limit
+  | Conflict { with_rid; reason } ->
+      Format.fprintf ppf "conflict with request %d (%a)" with_rid
+        Footprint.pp_conflict reason
+  | Capacity { u; v; need; available } ->
+      Format.fprintf ppf
+        "insufficient residual capacity on v%d -> v%d (need %d, available %d)"
+        u v need available
+  | Unschedulable { remaining } ->
+      Format.fprintf ppf "no consistent schedule (%d switches unplaced)"
+        remaining
+
+let pp_verdict ppf = function
+  | Committed { makespan; _ } ->
+      Format.fprintf ppf "committed (makespan %d)" makespan
+  | Denied d -> Format.fprintf ppf "denied: %a" pp_denial d
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<h>request %d (flow %d, batch %d): %a%a@]" o.rid o.fid
+    o.batch pp_verdict o.verdict
+    (fun ppf -> function
+      | [] -> ()
+      | after ->
+          Format.fprintf ppf " after %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               Format.pp_print_int)
+            after)
+    o.serialized_after

@@ -1,0 +1,163 @@
+(** The transactional update service: a stream of flow-reroute requests
+    over one shared network, executed as concurrently as consistency
+    allows.
+
+    The one-shot Chronus solver moves a single flow; a production
+    controller fields many requests for many flows sharing links. The
+    service closes that gap with the Software-Transactional-Network
+    discipline: each request is a {e transaction}, its {!Footprint} is
+    the part of the network it can touch, and a batch of pairwise
+    disjoint-footprint transactions is solved concurrently over
+    [Chronus_parallel.Pool] — disjoint transactions commute, so any
+    interleaving (and any job count) yields the same final routes.
+    Conflicting requests are serialized into a later batch (default) or
+    denied outright, always with a structured reason naming the conflict
+    and the transaction that won.
+
+    Request lifecycle (SERVICE.md is the operator-facing guide):
+
+    - {b submitted} — {!submit} assigned a request id, or turned the
+      request away at the door ([Unknown_flow], [Invalid_path],
+      [Queue_full]);
+    - {b admitted / serialized / denied} — {!process} either selected
+      the request into the current batch, deferred it behind a
+      conflicting earlier request, or (under the [Deny] policy) refused
+      it with [Conflict];
+    - {b committed / aborted} — an admitted transaction either found a
+      consistent schedule and atomically became the flow's new route, or
+      failed validation ([Capacity], [Unschedulable]) leaving the route
+      untouched.
+
+    Every step is observable: [service.*] counters, the
+    [service.queue_depth] gauge and the [service.txn] span are
+    documented in OBSERVABILITY.md. Metrics observe, never branch —
+    outcomes are bit-identical with tracing on or off and at any job
+    count. *)
+
+open Chronus_graph
+open Chronus_flow
+
+(** What to do with a request whose footprint conflicts with an
+    already-selected transaction of the same batch. *)
+type conflict_policy =
+  | Serialize  (** defer it to a later batch (the default) *)
+  | Deny  (** refuse it with [Conflict], leaving the route unchanged *)
+
+(** Structured reasons a request does not commit. The constructor order
+    mirrors the lifecycle: the first three can only arise at {!submit},
+    the rest during {!process}. *)
+type denial =
+  | Unknown_flow of int  (** no flow with this [fid] exists *)
+  | Invalid_path of string
+      (** the target is not a simple valid path with the flow's
+          endpoints; the message pinpoints the defect *)
+  | Queue_full of { limit : int }  (** back-pressure: retry after a drain *)
+  | Conflict of { with_rid : int; reason : Footprint.conflict }
+      (** [Deny] policy only: the named earlier request won the
+          footprint race this batch *)
+  | Capacity of {
+      u : Graph.node;
+      v : Graph.node;
+      need : int;  (** the flow's demand *)
+      available : int;  (** link capacity minus steady cross-flow load *)
+    }
+      (** the target path needs more residual capacity on [u -> v] than
+          the other flows' routes leave *)
+  | Unschedulable of { remaining : int }
+      (** no consistent timed schedule exists even though steady-state
+          capacities suffice; [remaining] is the number of switches the
+          scheduler could not place (0 in the defensive case where a
+          complete schedule failed final oracle validation) *)
+
+(** How committed transactions touch the data plane. *)
+type exec_mode =
+  | Validate_only
+      (** oracle-validate only; routes are bookkeeping (the default) *)
+  | Simulate of { seed : int; config : Chronus_exec.Exec_env.config }
+      (** additionally drive each committed transaction through
+          [Chronus_exec.Timed_exec] on the flow's residual network,
+          seeded per request id — deterministic, so golden replays can
+          pin the summaries *)
+
+type exec_summary = {
+  exec_clean : bool;
+      (** the simulated run finished with zero monitor violations on the
+          timed path (no fallback, no loops/blackholes/overloads) *)
+  exec_events : int;  (** simulator events the run dispatched *)
+  exec_commands : int;  (** flow-mod commands the executor issued *)
+}
+(** Measurement of one simulated transaction ([Simulate] mode only). *)
+
+(** Terminal state of a processed request. *)
+type verdict =
+  | Committed of { schedule : Schedule.t; makespan : int }
+      (** the flow now routes over its target path; [schedule] is the
+          consistent timed schedule that moved it ([Schedule.empty] for
+          a no-op request whose target equals the current path) *)
+  | Denied of denial
+
+type outcome = {
+  rid : int;  (** request id, assigned by {!submit} in arrival order *)
+  fid : int;
+  target : Path.t;
+  verdict : verdict;
+  batch : int;  (** 1-based batch ordinal in which the verdict fell *)
+  serialized_after : int list;
+      (** rids of the conflicting transactions this request waited for,
+          one per batch it sat out, in deferral order *)
+  execution : exec_summary option;
+      (** [Simulate] mode, committed non-trivial transactions only *)
+  wall_ns : int;
+      (** submit-to-verdict latency — wall-clock, so excluded from
+          determinism digests (every other field is deterministic) *)
+}
+(** Everything the service decided about one request. *)
+
+type t
+(** A service instance: the shared graph, each flow's current route, and
+    the queue of pending requests. Single-owner mutable state — submit
+    and process from one domain; the internal pool fan-out is the
+    service's own concern. *)
+
+val create :
+  ?queue_limit:int -> ?conflict_policy:conflict_policy -> ?exec:exec_mode ->
+  Instance.multi -> t
+(** A service over the multi-flow instance's graph, with every flow
+    initially on its [f_init] path (the instance's [f_fin]s are ignored:
+    targets arrive as requests). [queue_limit] (default 4096) bounds
+    {!pending}; beyond it {!submit} answers [Queue_full]. *)
+
+val graph : t -> Graph.t
+(** The shared network (not copied; do not mutate). *)
+
+val routes : t -> (int * Path.t) list
+(** Current route per flow, sorted by [fid] — the "final flow tables"
+    the commutativity property compares. *)
+
+val current_path : t -> int -> Path.t option
+(** Route of one flow, [None] for an unknown [fid]. *)
+
+val pending : t -> int
+(** Requests submitted but not yet processed. *)
+
+val submit : t -> fid:int -> target:Path.t -> (int, denial) result
+(** Enqueue a request to move flow [fid] onto [target]. [Ok rid]
+    acknowledges admission to the queue; [Error] is a door denial
+    ([Unknown_flow], [Invalid_path], [Queue_full]) that leaves the
+    service unchanged. Structural path validation happens here, against
+    the graph and the flow's endpoints, so every queued request is
+    well-formed. *)
+
+val process : ?jobs:int -> t -> outcome list
+(** Drain the queue: repeatedly select the maximal prefix-priority set
+    of pairwise non-conflicting requests (scanning in rid order, so
+    earlier requests always win footprint races), solve the selected
+    batch concurrently on [jobs] pool workers (default
+    [Chronus_parallel.Pool.default_jobs ()]), commit the survivors in
+    rid order, and carry deferred requests into the next batch.
+    Returns one outcome per queued request, sorted by rid. All fields
+    except [wall_ns] are independent of [jobs]. *)
+
+val pp_denial : Format.formatter -> denial -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,375 @@
+(* The transactional update service: footprint conflict detection, the
+   commutativity of disjoint-footprint transactions (any submission
+   order, any job count — same final routes), deterministic
+   serialization of conflicting ones by request id, structured denials,
+   the background-vs-residual oracle equivalence the service's solver
+   rests on, a golden multi-flow replay through the timed executor, and
+   jobs-parity of the service figure's deterministic columns. *)
+
+open Chronus_graph
+open Chronus_flow
+open Chronus_topo
+module Svc = Chronus_service.Service
+module Footprint = Chronus_service.Footprint
+module E = Chronus_experiments
+
+let dig v =
+  Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.No_sharing ]))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+(* One diamond: base -> base+1 -> base+3 over the top, base -> base+2 ->
+   base+3 underneath. The two-diamond graph gives two flows with
+   provably disjoint footprints; a single shared diamond gives the
+   canonical conflicting pair (same links, same destination). *)
+let diamond ?(cap = 2) ?(rng : Rng.t option) g base =
+  let e u v =
+    let delay = match rng with None -> 1 | Some r -> Rng.in_range r 1 3 in
+    Graph.add_edge ~capacity:cap ~delay g u v
+  in
+  e base (base + 1);
+  e (base + 1) (base + 3);
+  e base (base + 2);
+  e (base + 2) (base + 3)
+
+let via1 base = [ base; base + 1; base + 3 ]
+let via2 base = [ base; base + 2; base + 3 ]
+
+let steady fid path = { Instance.fid; f_demand = 1; f_init = path; f_fin = path }
+
+let two_diamond_multi ?cap ?rng () =
+  let g = Graph.create () in
+  diamond ?cap ?rng g 0;
+  diamond ?cap ?rng g 10;
+  Instance.create_multi ~graph:g [ steady 0 (via1 0); steady 1 (via1 10) ]
+
+(* Two flows sharing one diamond in opposite arms; swapping them is the
+   canonical conflicting request pair. *)
+let shared_diamond_multi ?(cap = 2) ?rng () =
+  let g = Graph.create () in
+  diamond ~cap ?rng g 0;
+  Instance.create_multi ~graph:g [ steady 0 (via1 0); steady 1 (via2 0) ]
+
+let committed o =
+  match o.Svc.verdict with Svc.Committed _ -> true | Svc.Denied _ -> false
+
+let submit_ok svc ~fid ~target =
+  match Svc.submit svc ~fid ~target with
+  | Ok rid -> rid
+  | Error d -> Alcotest.failf "submit denied: %a" Svc.pp_denial d
+
+(* ------------------------------------------------------------------ *)
+(* Footprints *)
+
+let test_footprint_conflicts () =
+  let a = Footprint.of_paths [ via1 0; via2 0 ] in
+  let b = Footprint.of_paths [ via1 10; via2 10 ] in
+  Alcotest.(check bool) "disjoint diamonds commute" true
+    (Footprint.conflict a b = None);
+  (match Footprint.conflict a a with
+  | Some (Footprint.Shared_link (0, 1)) -> ()
+  | other ->
+      Alcotest.failf "expected shared link v0 -> v1, got %s"
+        (match other with
+        | None -> "no conflict"
+        | Some c -> Format.asprintf "%a" Footprint.pp_conflict c));
+  (* Link-disjoint but same destination: rule space still collides. *)
+  let g = Graph.create () in
+  diamond g 0;
+  Graph.add_edge ~capacity:2 ~delay:1 g 7 3;
+  let c = Footprint.of_paths [ [ 7; 3 ] ] in
+  match Footprint.conflict a c with
+  | Some (Footprint.Shared_destination 3) -> ()
+  | _ -> Alcotest.fail "expected shared destination v3"
+
+(* ------------------------------------------------------------------ *)
+(* Commutativity: disjoint-footprint transactions yield the same final
+   routes under any submission order and any job count, and commit in
+   the same (first) batch with no serialization. *)
+
+let disjoint_run ~seed ~order ~jobs =
+  let multi = two_diamond_multi ~rng:(Rng.derive seed [ 1 ]) () in
+  let svc = Svc.create multi in
+  List.iter
+    (fun fid ->
+      ignore (submit_ok svc ~fid ~target:(via2 (if fid = 0 then 0 else 10))))
+    order;
+  let outcomes = Svc.process ~jobs svc in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "committed" true (committed o);
+      Alcotest.(check int) "first batch" 1 o.Svc.batch;
+      Alcotest.(check (list int)) "no serialization" [] o.Svc.serialized_after)
+    outcomes;
+  Svc.routes svc
+
+let prop_disjoint_commute =
+  QCheck.Test.make ~count:40
+    ~name:"disjoint footprints commute (any order, any jobs)"
+    QCheck.(make Gen.(0 -- 1_000))
+    (fun seed ->
+      let reference = disjoint_run ~seed ~order:[ 0; 1 ] ~jobs:1 in
+      List.for_all
+        (fun (order, jobs) -> disjoint_run ~seed ~order ~jobs = reference)
+        [ ([ 0; 1 ], 4); ([ 1; 0 ], 1); ([ 1; 0 ], 4) ])
+
+(* Conflicting pair: whoever holds the smaller rid wins the batch; the
+   other request is serialized exactly one batch behind it (Serialize
+   policy) or denied naming the winner (Deny policy). *)
+let prop_conflict_serializes =
+  QCheck.Test.make ~count:40
+    ~name:"conflicting pair serializes deterministically by rid"
+    QCheck.(make Gen.(pair (0 -- 1_000) bool))
+    (fun (seed, swap_order) ->
+      let multi = shared_diamond_multi ~rng:(Rng.derive seed [ 2 ]) () in
+      let svc = Svc.create multi in
+      (* Swap the two flows' arms — maximally conflicting requests. *)
+      let submit fid =
+        submit_ok svc ~fid ~target:(if fid = 0 then via2 0 else via1 0)
+      in
+      let first = submit (if swap_order then 1 else 0) in
+      let second = submit (if swap_order then 0 else 1) in
+      let outcomes = Svc.process ~jobs:2 svc in
+      List.for_all committed outcomes
+      && List.for_all
+           (fun o ->
+             if o.Svc.rid = first then
+               o.Svc.batch = 1 && o.Svc.serialized_after = []
+             else
+               o.Svc.rid = second && o.Svc.batch = 2
+               && o.Svc.serialized_after = [ first ])
+           outcomes
+      && Svc.routes svc
+         = [ (0, via2 0); (1, via1 0) ])
+
+let test_conflict_deny_policy () =
+  let svc =
+    Svc.create ~conflict_policy:Svc.Deny (shared_diamond_multi ())
+  in
+  let r0 = submit_ok svc ~fid:0 ~target:(via2 0) in
+  let r1 = submit_ok svc ~fid:1 ~target:(via1 0) in
+  match Svc.process ~jobs:1 svc with
+  | [ o0; o1 ] ->
+      Alcotest.(check bool) "winner committed" true (committed o0);
+      Alcotest.(check int) "winner rid" r0 o0.Svc.rid;
+      (match o1.Svc.verdict with
+      | Svc.Denied (Svc.Conflict { with_rid; _ }) ->
+          Alcotest.(check int) "denial names the winner" r0 with_rid
+      | v -> Alcotest.failf "expected conflict denial, got %a" Svc.pp_verdict v);
+      Alcotest.(check int) "loser rid" r1 o1.Svc.rid;
+      Alcotest.(check (list (pair int (list int)))) "loser's route unchanged"
+        [ (0, via2 0); (1, via2 0) ]
+        (Svc.routes svc)
+  | os -> Alcotest.failf "expected two outcomes, got %d" (List.length os)
+
+(* ------------------------------------------------------------------ *)
+(* Structured denials *)
+
+let test_door_denials () =
+  let svc = Svc.create ~queue_limit:1 (two_diamond_multi ()) in
+  (match Svc.submit svc ~fid:9 ~target:(via2 0) with
+  | Error (Svc.Unknown_flow 9) -> ()
+  | _ -> Alcotest.fail "expected Unknown_flow");
+  (match Svc.submit svc ~fid:0 ~target:(via2 10) with
+  | Error (Svc.Invalid_path _) -> ()
+  | _ -> Alcotest.fail "expected Invalid_path (wrong endpoints)");
+  ignore (submit_ok svc ~fid:0 ~target:(via2 0));
+  match Svc.submit svc ~fid:1 ~target:(via2 10) with
+  | Error (Svc.Queue_full { limit = 1 }) -> ()
+  | _ -> Alcotest.fail "expected Queue_full"
+
+let test_capacity_denial () =
+  (* A steady neighbour saturates the lower arm: flow 0's request for it
+     must be denied with the exact link and residual. *)
+  let g = Graph.create () in
+  diamond ~cap:1 g 0;
+  let multi =
+    Instance.create_multi ~graph:g [ steady 0 (via1 0); steady 1 [ 0; 2 ] ]
+  in
+  let svc = Svc.create multi in
+  ignore (submit_ok svc ~fid:0 ~target:(via2 0));
+  match Svc.process ~jobs:1 svc with
+  | [ { Svc.verdict = Svc.Denied (Svc.Capacity { u = 0; v = 2; need = 1; available = 0 }); _ } ]
+    ->
+      Alcotest.(check (list (pair int (list int)))) "route unchanged"
+        [ (0, via1 0); (1, [ 0; 2 ]) ]
+        (Svc.routes svc)
+  | [ o ] -> Alcotest.failf "expected capacity denial, got %a" Svc.pp_outcome o
+  | os -> Alcotest.failf "expected one outcome, got %d" (List.length os)
+
+let test_unschedulable_denial () =
+  (* Helpers.infeasible's topology: no consistent schedule moves the flow
+     from [0;1;2;3] to [0;2;3], so the transaction aborts. *)
+  let g = Graph.create () in
+  List.iter
+    (fun (u, v, capacity, delay) -> Graph.add_edge ~capacity ~delay g u v)
+    [ (0, 1, 1, 1); (1, 2, 1, 1); (2, 3, 1, 3); (0, 2, 1, 1) ];
+  let multi = Instance.create_multi ~graph:g [ steady 0 [ 0; 1; 2; 3 ] ] in
+  let svc = Svc.create multi in
+  ignore (submit_ok svc ~fid:0 ~target:[ 0; 2; 3 ]);
+  match Svc.process ~jobs:1 svc with
+  | [ { Svc.verdict = Svc.Denied (Svc.Unschedulable { remaining }); _ } ] ->
+      Alcotest.(check bool) "names unplaced switches" true (remaining > 0)
+  | [ o ] ->
+      Alcotest.failf "expected unschedulable denial, got %a" Svc.pp_outcome o
+  | os -> Alcotest.failf "expected one outcome, got %d" (List.length os)
+
+(* ------------------------------------------------------------------ *)
+(* The solver's foundation: validating one flow's schedule against the
+   others' steady routes via [?background] on the full graph is the same
+   judgement as validating on the residual-capacity graph. *)
+
+let prop_background_residual_equivalence =
+  QCheck.Test.make ~count:100
+    ~name:"oracle ?background == residual-graph evaluation"
+    QCheck.(make Gen.(0 -- 10_000))
+    (fun seed ->
+      let rng = Rng.derive seed [ 3 ] in
+      let spec =
+        Chronus_topo.Scenario.spec ~capacity_choices:[ 2; 3 ] ~delay_lo:1
+          ~delay_hi:3
+          (Rng.in_range rng 4 8)
+      in
+      let inst = Chronus_topo.Scenario.mixed ~rng spec in
+      (* A phantom steady flow on the final path: the heaviest plausible
+         sharing pattern. *)
+      let bg = Instance.background [ (1, inst.Instance.p_fin) ] in
+      let residual = Instance.residual_graph inst.Instance.graph bg in
+      match
+        Instance.create ~graph:residual ~demand:inst.Instance.demand
+          ~p_init:inst.Instance.p_init ~p_fin:inst.Instance.p_fin
+      with
+      | exception Instance.Ill_formed _ -> QCheck.assume_fail ()
+      | rinst ->
+          let sched =
+            Schedule.of_list
+              (List.map
+                 (fun v -> (v, Rng.in_range rng 0 3))
+                 (Instance.switches_to_update inst))
+          in
+          let full = Oracle.evaluate ~background:bg inst sched in
+          let res = Oracle.evaluate rinst sched in
+          full.Oracle.ok = res.Oracle.ok
+          && full.Oracle.congested = res.Oracle.congested)
+
+let prop_zero_background_identity =
+  QCheck.Test.make ~count:100 ~name:"zero background is the identity"
+    QCheck.(make Gen.(0 -- 10_000))
+    (fun seed ->
+      let inst = Helpers.instance_of_seed seed in
+      let sched = Helpers.all_at_zero inst in
+      Oracle.evaluate ~background:(fun _ _ -> 0) inst sched
+      = Oracle.evaluate inst sched)
+
+(* ------------------------------------------------------------------ *)
+(* Golden multi-flow replay: two disjoint transactions and one
+   serialized one, driven through the timed executor (Simulate mode).
+   The digest pins every deterministic outcome field plus the final
+   routes; wall_ns is projected away. Captured at jobs=1 and asserted
+   at jobs=2 — the parity is the point. *)
+
+let replay_config =
+  {
+    Chronus_exec.Exec_env.default with
+    Chronus_exec.Exec_env.warmup = Chronus_sim.Sim_time.sec 1;
+    drain = Chronus_sim.Sim_time.sec 2;
+  }
+
+let proj_outcome (o : Svc.outcome) =
+  ( o.Svc.rid,
+    o.Svc.fid,
+    o.Svc.target,
+    (match o.Svc.verdict with
+    | Svc.Committed { schedule; makespan } ->
+        Ok (Schedule.to_list schedule, makespan)
+    | Svc.Denied d -> Error (Format.asprintf "%a" Svc.pp_denial d)),
+    o.Svc.batch,
+    o.Svc.serialized_after,
+    o.Svc.execution )
+
+let replay_run ~jobs =
+  let g = Graph.create () in
+  diamond g 0;
+  diamond g 10;
+  let multi =
+    Instance.create_multi ~graph:g
+      [ steady 0 (via1 0); steady 1 (via1 10); steady 2 (via2 0) ]
+  in
+  let svc =
+    Svc.create ~exec:(Svc.Simulate { seed = 5; config = replay_config }) multi
+  in
+  ignore (submit_ok svc ~fid:0 ~target:(via2 0));
+  ignore (submit_ok svc ~fid:1 ~target:(via2 10));
+  ignore (submit_ok svc ~fid:2 ~target:(via1 0));
+  let outcomes = Svc.process ~jobs svc in
+  (List.map proj_outcome outcomes, Svc.routes svc)
+
+let test_golden_replay () =
+  let outcomes, routes = replay_run ~jobs:2 in
+  List.iter
+    (fun (_, _, _, verdict, _, _, execution) ->
+      (match execution with
+      | Some e ->
+          Alcotest.(check bool) "simulated run clean" true e.Svc.exec_clean
+      | None -> Alcotest.fail "expected an execution summary");
+      match verdict with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "expected commit, got %s" d)
+    outcomes;
+  Alcotest.(check string) "replay digest (seed-identical)"
+    "5ba917a0b57b81e705eccdec905d0c2d"
+    (dig (outcomes, routes));
+  Alcotest.(check string) "jobs parity" (dig (replay_run ~jobs:1)) (dig (outcomes, routes))
+
+(* ------------------------------------------------------------------ *)
+(* The service figure: deterministic columns independent of the job
+   count, and the books balancing. *)
+
+let deterministic (r : E.Fig_service.row) =
+  ( r.E.Fig_service.offered_per_round,
+    r.E.Fig_service.rounds,
+    r.E.Fig_service.flows,
+    r.E.Fig_service.submitted,
+    r.E.Fig_service.committed,
+    r.E.Fig_service.serialized,
+    r.E.Fig_service.denied,
+    r.E.Fig_service.batches,
+    r.E.Fig_service.mean_makespan )
+
+let test_fig_service_jobs_parity () =
+  let run jobs = E.Fig_service.run ~jobs ~scale:E.Scale.tiny () in
+  let rows = run 1 in
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        "books balance: committed + denied = submitted"
+        r.E.Fig_service.submitted
+        (r.E.Fig_service.committed + r.E.Fig_service.denied))
+    rows;
+  Alcotest.(check string) "rows identical at jobs=1 and jobs=3"
+    (dig (List.map deterministic rows))
+    (dig (List.map deterministic (run 3)))
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "footprint conflict rules" `Quick
+        test_footprint_conflicts;
+      QCheck_alcotest.to_alcotest ~long:false prop_disjoint_commute;
+      QCheck_alcotest.to_alcotest ~long:false prop_conflict_serializes;
+      Alcotest.test_case "deny policy names the winner" `Quick
+        test_conflict_deny_policy;
+      Alcotest.test_case "door denials are structured" `Quick test_door_denials;
+      Alcotest.test_case "capacity denial names the link" `Quick
+        test_capacity_denial;
+      Alcotest.test_case "unschedulable transaction aborts" `Quick
+        test_unschedulable_denial;
+      QCheck_alcotest.to_alcotest ~long:false
+        prop_background_residual_equivalence;
+      QCheck_alcotest.to_alcotest ~long:false prop_zero_background_identity;
+      Alcotest.test_case "golden multi-flow replay (seed-identical)" `Quick
+        test_golden_replay;
+      Alcotest.test_case "fig-service rows independent of job count" `Slow
+        test_fig_service_jobs_parity;
+    ] )
