@@ -321,6 +321,100 @@ let event_queue_tests =
            ignore (EQ.Heap.run_next hq)));
   ]
 
+(* The update service's admission pipeline, on the shared-WAN shape
+   fig-service drives: deriving one rule-granular footprint for a
+   min-hop reroute, admitting a 16-request batch through the budget's
+   per-link accounting, and the pooled checker's retarget-and-probe
+   gate that replaced per-transaction from-scratch oracle
+   evaluations. *)
+let service_tests =
+  let module G = Chronus_graph.Graph in
+  let module Path = Chronus_graph.Path in
+  let module Shortest = Chronus_graph.Shortest in
+  let module Footprint = Chronus_service.Footprint in
+  let rng = Rng.make 91 in
+  let g =
+    Topology.wan ~params:{ Topology.capacity = 3; delay = 1 } ~rng 32
+  in
+  let nodes = Array.of_list (G.nodes g) in
+  (* Random reroute pairs — a min-hop route plus the min-hop detour
+     around one of its links, the request shape fig-service submits. *)
+  let rec draw_pair tries =
+    if tries > 500 then failwith "bench: WAN yielded no detour pair"
+    else
+      let src = nodes.(Rng.int rng (Array.length nodes)) in
+      let dst = nodes.(Rng.int rng (Array.length nodes)) in
+      match if src = dst then None else Shortest.hop_path g src dst with
+      | None -> draw_pair (tries + 1)
+      | Some current -> (
+          match Path.edges current with
+          | [] -> draw_pair (tries + 1)
+          | edges -> (
+              let u, v = Rng.pick rng edges in
+              let g' = G.copy g in
+              G.remove_edge g' u v;
+              match Shortest.hop_path g' src dst with
+              | Some target when not (Path.equal current target) ->
+                  (current, target)
+              | Some _ | None -> draw_pair (tries + 1)))
+  in
+  let pairs = Array.init 16 (fun _ -> draw_pair 0) in
+  let footprints =
+    Array.to_list
+      (Array.mapi
+         (fun fid (current, target) ->
+           Footprint.of_flow ~graph:g ~fid ~demand:1 ~current ~target)
+         pairs)
+  in
+  let cursor = ref 0 in
+  let next_pair () =
+    let p = pairs.(!cursor land 15) in
+    incr cursor;
+    p
+  in
+  let no_steady _ _ = 0 in
+  (* Two single-flow reroute instances over the same graph; each
+     iteration retargets the persistent session to the other one and
+     probes its full flip set — the service's per-transaction gate. *)
+  let prepared =
+    Array.map
+      (fun (current, target) ->
+        let inst =
+          Instance.create ~graph:g ~demand:1 ~p_init:current ~p_fin:target
+        in
+        let flips =
+          match Greedy.schedule ~mode:Greedy.Analytic inst with
+          | Greedy.Scheduled s -> Schedule.to_list s
+          | Greedy.Infeasible { partial; _ } -> Schedule.to_list partial
+        in
+        (inst, flips))
+      [| pairs.(0); pairs.(1) |]
+  in
+  let ck = Oracle.Checker.create (fst prepared.(0)) Schedule.empty in
+  let ck_cursor = ref 0 in
+  [
+    Test.make ~name:"service/footprint"
+      (Staged.stage (fun () ->
+           let current, target = next_pair () in
+           ignore
+             (Footprint.of_flow ~graph:g ~fid:0 ~demand:1 ~current ~target)));
+    Test.make ~name:"service/admission"
+      (Staged.stage (fun () ->
+           let b =
+             Footprint.Budget.create ~capacity:(G.capacity g)
+               ~steady:no_steady
+           in
+           List.iteri
+             (fun rid fp -> ignore (Footprint.Budget.admit b ~rid fp))
+             footprints));
+    Test.make ~name:"service/checker-probe"
+      (Staged.stage (fun () ->
+           let inst, flips = prepared.(!ck_cursor land 1) in
+           incr ck_cursor;
+           Oracle.Checker.retarget ck inst;
+           ignore (Oracle.Checker.probe_list ck flips)));
+  ]
+
 let baseline_tests =
   let inst = instance_of_size 60 in
   [
@@ -341,8 +435,8 @@ let benchmarks () =
   let tests =
     Test.make_grouped ~name:"chronus"
       (greedy_tests @ greedy_exact_tests @ primitive_tests
-      @ oracle_incremental_tests @ flow_table_tests @ event_queue_tests
-      @ baseline_tests)
+      @ oracle_incremental_tests @ service_tests @ flow_table_tests
+      @ event_queue_tests @ baseline_tests)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
@@ -536,10 +630,14 @@ let scale_json suite =
              ] ))
        suite.fig_scale)
 
-(* chronus-bench/6: the update-service figure, one entry per offered
-   rate — deterministic admission/commit columns, a derived denial rate,
-   and the wall-measured throughput and latency percentiles. As with the
-   scale rows, the wall columns never enter the determinism digest. *)
+(* chronus-bench/7: the update-service figure, one entry per offered
+   rate — deterministic admission/commit columns, derived denial and
+   serialization rates, the per-transaction from-scratch oracle
+   evaluation cost (checker-pool misses over committed transactions —
+   the admission pipeline's headline ratio, asserted < 1 in CI), and
+   the wall-measured throughput and latency percentiles. As with the
+   scale rows, the wall columns never enter the determinism digest;
+   neither does full_evals, which depends on pool timing. *)
 let service_json suite =
   Json.Obj
     (List.map
@@ -559,9 +657,14 @@ let service_json suite =
                ("submitted", Json.Int r.E.Fig_service.submitted);
                ("committed", Json.Int r.E.Fig_service.committed);
                ("serialized", Json.Int r.E.Fig_service.serialized);
+               ( "serialized_rate",
+                 Json.Float r.E.Fig_service.serialized_rate );
                ("denied", Json.Int r.E.Fig_service.denied);
                ("batches", Json.Int r.E.Fig_service.batches);
                ("denial_rate", denial_rate);
+               ("full_evals", Json.Int r.E.Fig_service.full_evals);
+               ( "full_evals_per_txn",
+                 Json.Float r.E.Fig_service.full_evals_per_txn );
                ("mean_makespan", Json.Float r.E.Fig_service.mean_makespan);
                ("throughput_per_s", Json.Float r.E.Fig_service.throughput_per_s);
                ("p50_ms", Json.Float r.E.Fig_service.p50_ms);
@@ -604,7 +707,7 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/6");
+        ("schema", Json.String "chronus-bench/7");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("experiments", experiments_json);

@@ -101,7 +101,17 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, scale, service, ablation, all.")
   in
-  let run which scale_name jobs metrics =
+  let rates_arg =
+    let doc =
+      "Offered rates (requests per round) for the $(b,service) experiment, \
+       e.g. $(b,--rates 1,16). Default: the scale's rate axis."
+    in
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "rates" ] ~docv:"RATES" ~doc)
+  in
+  let run which scale_name jobs metrics rates =
     let module Obs = Chronus_obs.Obs in
     let scale = E.Scale.parse scale_name in
     let jobs =
@@ -119,7 +129,8 @@ let experiment_cmd =
       | "fig11" -> E.Fig11.print (E.Fig11.run ~jobs ~scale ())
       | "robust" -> E.Fig_robust.print (E.Fig_robust.run ~jobs ~scale ())
       | "scale" -> E.Fig_scale.print (E.Fig_scale.run ~jobs ~scale ())
-      | "service" -> E.Fig_service.print (E.Fig_service.run ~jobs ~scale ())
+      | "service" ->
+          E.Fig_service.print (E.Fig_service.run ~jobs ~scale ?rates ())
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
@@ -152,7 +163,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure of the paper's evaluation.")
-    Term.(const run $ which $ scale_arg $ jobs_arg $ metrics_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg $ metrics_arg $ rates_arg)
 
 (* chronus demo *)
 let demo_cmd =

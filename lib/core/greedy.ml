@@ -20,7 +20,7 @@ type outcome =
 
 type stats = { steps_examined : int; candidates_checked : int; waits : int }
 
-let run_scheduler ~mode ~relax_congestion inst =
+let run_scheduler ~mode ~relax_congestion ?oracle inst =
   Obs.Span.with_h s_schedule @@ fun () ->
   let drain = Drain.make inst in
   let remaining = Hashtbl.create 16 in
@@ -39,7 +39,19 @@ let run_scheduler ~mode ~relax_congestion inst =
      the session (its decisions are closed-form). *)
   let checker =
     match mode with
-    | Exact -> Some (Oracle.Checker.create inst Schedule.empty)
+    | Exact -> (
+        match oracle with
+        | Some ck ->
+            (* An externally pooled session (the update service's
+               cross-batch reuse): normalise it to the empty base so the
+               run starts from the same state a fresh [create] would. *)
+            if not (Oracle.Checker.instance ck == inst) then
+              invalid_arg
+                "Greedy.schedule: ?oracle session targets a different instance";
+            if not (Schedule.is_empty (Oracle.Checker.base ck)) then
+              Oracle.Checker.retarget ck inst;
+            Some ck
+        | None -> Some (Oracle.Checker.create inst Schedule.empty))
     | Analytic -> None
   in
   let steps = ref 0 and cands = ref 0 and waits = ref 0 in
@@ -310,8 +322,9 @@ let run_scheduler ~mode ~relax_congestion inst =
       waits = !waits;
     } )
 
-let rec schedule_with_stats ?(mode = Exact) ?(relax_congestion = false) inst =
-  let result, stats = run_scheduler ~mode ~relax_congestion inst in
+let rec schedule_with_stats ?(mode = Exact) ?(relax_congestion = false) ?oracle
+    inst =
+  let result, stats = run_scheduler ~mode ~relax_congestion ?oracle inst in
   let validated sched =
     Obs.Counter.incr c_oracle;
     Oracle.is_consistent inst sched
@@ -324,7 +337,7 @@ let rec schedule_with_stats ?(mode = Exact) ?(relax_congestion = false) inst =
          miss, the oracle-gated engine redoes the work. Rare in practice
          (the analytic engine is exact for single-clash instances). *)
       let exact_result, exact_stats =
-        schedule_with_stats ~mode:Exact ~relax_congestion inst
+        schedule_with_stats ~mode:Exact ~relax_congestion ?oracle inst
       in
       ( exact_result,
         {
@@ -335,8 +348,8 @@ let rec schedule_with_stats ?(mode = Exact) ?(relax_congestion = false) inst =
         } )
   | _ -> (result, stats)
 
-let schedule ?mode ?relax_congestion inst =
-  fst (schedule_with_stats ?mode ?relax_congestion inst)
+let schedule ?mode ?relax_congestion ?oracle inst =
+  fst (schedule_with_stats ?mode ?relax_congestion ?oracle inst)
 
 let makespan = function
   | Scheduled s -> Some (Schedule.makespan s)

@@ -38,7 +38,12 @@ type stats = {
   waits : int;  (** steps at which nothing could be committed *)
 }
 
-val schedule : ?mode:mode -> ?relax_congestion:bool -> Instance.t -> outcome
+val schedule :
+  ?mode:mode ->
+  ?relax_congestion:bool ->
+  ?oracle:Oracle.Checker.t ->
+  Instance.t ->
+  outcome
 (** Compute a timed update schedule. [mode] defaults to [Exact]. In
     [Exact] mode a [Scheduled] result is always oracle-consistent.
 
@@ -46,10 +51,26 @@ val schedule : ?mode:mode -> ?relax_congestion:bool -> Instance.t -> outcome
     gate a flip — only transient loops and blackholes do. This is the
     best-effort engine behind {!Fallback}: on an instance with no
     congestion-free schedule it still sequences every switch while
-    guaranteeing (in [Exact] mode) that no traffic is ever misrouted. *)
+    guaranteeing (in [Exact] mode) that no traffic is ever misrouted.
+
+    [oracle] (Exact mode) supplies an externally owned incremental
+    {!Oracle.Checker} session to use instead of creating one per run —
+    the update service pools such sessions across transactions. The
+    session must already target [inst] (physically, see
+    {!Oracle.Checker.instance}); it is normalised to the empty base with
+    {!Oracle.Checker.retarget} if needed, and is left holding the run's
+    final schedule as its base on a [Scheduled] outcome — so the caller's
+    schedule gate is the session's free {!Oracle.Checker.base_report}.
+    Scheduling decisions and outputs are bit-identical with and without
+    it. @raise Invalid_argument if the session targets another
+    instance. *)
 
 val schedule_with_stats :
-  ?mode:mode -> ?relax_congestion:bool -> Instance.t -> outcome * stats
+  ?mode:mode ->
+  ?relax_congestion:bool ->
+  ?oracle:Oracle.Checker.t ->
+  Instance.t ->
+  outcome * stats
 
 val makespan : outcome -> int option
 (** Number of time steps of a successful schedule. *)

@@ -7,6 +7,7 @@ module Obs = Chronus_obs.Obs
 let c_hits = Obs.Counter.v "oracle.cache_hits"
 let c_retraced = Obs.Counter.v "oracle.cohorts_retraced"
 let c_full = Obs.Counter.v "oracle.full_evals"
+let c_retargets = Obs.Counter.v "oracle.retargets"
 
 (* All oracle keys are small ints (switch ids, time steps); monomorphic
    hashing avoids the polymorphic-hash walk on every hot-path lookup. *)
@@ -173,15 +174,15 @@ let consults c =
    [set_flips]/[clear_flips] bracket every batch of traces. *)
 type ctx = {
   nn : int;  (** node id bound: every switch id is < [nn] *)
-  src : int;
-  dst : int;
+  mutable src : int;
+  mutable dst : int;
   a_old : int array;  (** old rule next hop; -1 = none *)
   a_new : int array;  (** new rule next hop; -1 = none *)
   a_old_dl : int array;  (** delay of v -> a_old.(v) *)
   a_new_dl : int array;  (** delay of v -> a_new.(v) *)
   a_prefix : int array;  (** old-path prefix delay; [min_int] = off-path *)
   caps : int Itbl.t;  (** packed (u, v) -> capacity, for the load scan *)
-  bg : Graph.node -> Graph.node -> int;
+  mutable bg : Graph.node -> Graph.node -> int;
       (** steady cross-flow load per link, added in the capacity scan *)
   flip : int array;  (** scratch: flip time of the schedule being traced *)
   stamp : int array;  (** scratch: visited marks, valid when = [gen] *)
@@ -242,6 +243,48 @@ let make_ctx ?(background = no_background) inst =
     stamp = Array.make nn 0;
     gen = 0;
   }
+
+(* Re-point a context at another instance over the *same* graph: the
+   direct-address arrays are sized by the graph's node bound and the
+   capacity table is keyed by its edges, so both survive; only the rule,
+   delay and prefix entries — populated on path switches alone — need a
+   reset and a refill. O(nn + path length) instead of the O(nodes + edges)
+   of [make_ctx], which is what makes pooling checker sessions across
+   transactions worthwhile. *)
+let retarget_ctx ctx ?background inst =
+  let g = inst.Instance.graph in
+  Array.fill ctx.a_old 0 ctx.nn (-1);
+  Array.fill ctx.a_new 0 ctx.nn (-1);
+  Array.fill ctx.a_old_dl 0 ctx.nn 0;
+  Array.fill ctx.a_new_dl 0 ctx.nn 0;
+  Array.fill ctx.a_prefix 0 ctx.nn min_int;
+  List.iter
+    (fun v ->
+      (match Instance.old_next inst v with
+      | Some w ->
+          ctx.a_old.(v) <- w;
+          ctx.a_old_dl.(v) <- Graph.delay g v w
+      | None -> ());
+      match Instance.new_next inst v with
+      | Some w ->
+          ctx.a_new.(v) <- w;
+          ctx.a_new_dl.(v) <- Graph.delay g v w
+      | None -> ())
+    (inst.Instance.p_init @ inst.Instance.p_fin);
+  let rec walk acc = function
+    | [] | [ _ ] -> ()
+    | u :: (v :: _ as rest) ->
+        if ctx.a_prefix.(u) = min_int then ctx.a_prefix.(u) <- acc;
+        let acc = acc + Graph.delay g u v in
+        if ctx.a_prefix.(v) = min_int then ctx.a_prefix.(v) <- acc;
+        walk acc rest
+  in
+  (match inst.Instance.p_init with
+  | [ only ] -> ctx.a_prefix.(only) <- 0
+  | p -> walk 0 p);
+  ctx.src <- Instance.source inst;
+  ctx.dst <- Instance.destination inst;
+  match background with Some bg -> ctx.bg <- bg | None -> ()
 
 let edge_cap ctx u v = Itbl.find ctx.caps (pack2 u v)
 
@@ -550,7 +593,7 @@ module Checker = struct
   }
 
   type t = {
-    inst : Instance.t;
+    mutable inst : Instance.t;
     ctx : ctx;
     mutable base : Schedule.t;
     mutable params : params;
@@ -603,6 +646,41 @@ module Checker = struct
   let base ck = ck.base
 
   let base_report ck = ck.report
+
+  let instance ck = ck.inst
+
+  (* Re-point the session at a new instance over the same graph, with the
+     empty schedule as base. An empty base simulates *zero* window cohorts
+     (the pure stream covers every injection before [tmax + 1 = 1] and the
+     stable stream everything from [stable_from = 1]), so the whole
+     operation costs one representative trace plus an O(nn) array reset —
+     not a from-scratch evaluation, hence its own counter. *)
+  let retarget ?background ck inst =
+    if not (inst.Instance.graph == ck.inst.Instance.graph) then
+      invalid_arg "Oracle.Checker.retarget: instance is over a different graph";
+    if ck.frames <> [] then
+      invalid_arg "Oracle.Checker.retarget: outstanding push frames";
+    Obs.Counter.incr c_retargets;
+    retarget_ctx ck.ctx ?background inst;
+    ck.inst <- inst;
+    ck.base <- Schedule.empty;
+    let params = compute_params inst ck.ctx Schedule.empty in
+    ck.params <- params;
+    ck.cache <- Itbl.create 64;
+    ck.index <- Itbl.create 32;
+    ck.report <- assemble inst ck.ctx params [];
+    ck.memo <- None
+
+  (* Swap the cross-flow background load. Cached cohort traces are routing
+     state and never depend on the background, so only the capacity scan
+     needs a rerun: reassemble the base report from the cached window. *)
+  let set_background ck bg =
+    if ck.frames <> [] then
+      invalid_arg "Oracle.Checker.set_background: outstanding push frames";
+    ck.ctx.bg <- bg;
+    let sims = Itbl.fold (fun _ s acc -> s :: acc) ck.cache [] in
+    ck.report <- assemble ck.inst ck.ctx ck.params sims;
+    ck.memo <- None
 
   let rebase ck sched =
     Obs.Counter.incr c_full;

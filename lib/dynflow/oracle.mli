@@ -129,6 +129,34 @@ module Checker : sig
   val base_report : t -> report
   (** The cached report of the base schedule; free. *)
 
+  val instance : t -> Instance.t
+  (** The instance this session currently validates. *)
+
+  val retarget :
+    ?background:(Graph.node -> Graph.node -> int) -> t -> Instance.t -> unit
+  (** [retarget ck inst] re-points the session at [inst] with the {e empty}
+      schedule as base, reusing the session's per-graph state (the packed
+      capacity table and the dense rule arrays). [inst] must be over the
+      physically same graph as the session's current instance. An empty
+      base simulates zero window cohorts, so the call costs one
+      representative trace plus an array reset — counted under the
+      [oracle.retargets] label, not [oracle.full_evals]. The resulting
+      session state is indistinguishable from
+      [create ?background inst Schedule.empty].
+
+      [background] replaces the session's cross-flow load; omitting it
+      keeps the current one (contract as in {!evaluate}).
+      @raise Invalid_argument on a different graph or with outstanding
+      [push] frames. *)
+
+  val set_background : t -> (Graph.node -> Graph.node -> int) -> unit
+  (** Swap the session's cross-flow background load and reassemble the
+      base report from the cached cohort window (traces are routing state
+      and never depend on the background, so nothing is re-traced). The
+      session is then indistinguishable from one created with that
+      background. @raise Invalid_argument with outstanding [push]
+      frames. *)
+
   val probe : t -> Graph.node -> int -> report
   (** [probe ck v t] is [evaluate inst (Schedule.add v t (base ck))],
       incrementally. Does not change the base. The last single-flip probe

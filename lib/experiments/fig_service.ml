@@ -19,13 +19,23 @@ type row = {
   submitted : int;
   committed : int;
   serialized : int;  (** requests deferred behind a conflict at least once *)
+  serialized_rate : float;  (** [serialized /. submitted]; deterministic *)
   denied : int;  (** door denials plus denied/aborted verdicts *)
   batches : int;  (** admission batches the service ran, all rounds *)
+  full_evals : int;
+      (** from-scratch oracle evaluations the cell cost (checker-pool
+          misses only); depends on pool timing, so excluded from
+          determinism digests like the wall-clock columns *)
+  full_evals_per_txn : float;  (** [full_evals /. max 1 committed] *)
   mean_makespan : float;  (** over committed non-trivial transactions *)
   throughput_per_s : float;  (** wall-measured committed transactions/s *)
   p50_ms : float;  (** wall-measured submit-to-verdict latency *)
   p99_ms : float;
 }
+
+(* The oracle's own counter (the registry is label-keyed and idempotent,
+   so this is the same cell lib/dynflow increments). *)
+let c_oracle_full = Obs.Counter.v "oracle.full_evals"
 
 let name = "fig-service"
 
@@ -101,6 +111,7 @@ let run ?jobs ?(scale = Scale.quick) ?rates () =
       let multi = Instance.create_multi ~graph:g flows in
       let service = Service.create multi in
       let n_actual = List.length flows in
+      let full_evals0 = Obs.Counter.value c_oracle_full in
       let wall_ns = ref 0 in
       let door_denials = ref 0 in
       let outcomes = ref [] in
@@ -145,13 +156,23 @@ let run ?jobs ?(scale = Scale.quick) ?rates () =
         | l -> Chronus_stats.Descriptive.percentile p l
       in
       let wall_s = float_of_int !wall_ns /. 1e9 in
+      let full_evals = Obs.Counter.value c_oracle_full - full_evals0 in
+      let submitted = rate * rounds in
+      let serialized = count (fun o -> o.Service.serialized_after <> []) in
       {
         offered_per_round = rate;
         rounds;
         flows = n_actual;
-        submitted = rate * rounds;
+        submitted;
         committed;
-        serialized = count (fun o -> o.Service.serialized_after <> []);
+        serialized;
+        serialized_rate =
+          (if submitted > 0 then
+             float_of_int serialized /. float_of_int submitted
+           else 0.);
+        full_evals;
+        full_evals_per_txn =
+          float_of_int full_evals /. float_of_int (max 1 committed);
         denied =
           !door_denials
           + count (fun o ->
@@ -185,6 +206,8 @@ let print rows =
           "serialized";
           "denied";
           "batches";
+          "full evals";
+          "fe/txn";
           "makespan";
           "txn/s";
           "p50 ms";
@@ -203,6 +226,8 @@ let print rows =
           string_of_int r.serialized;
           string_of_int r.denied;
           string_of_int r.batches;
+          string_of_int r.full_evals;
+          Printf.sprintf "%.2f" r.full_evals_per_txn;
           Printf.sprintf "%.1f" r.mean_makespan;
           Printf.sprintf "%.0f" r.throughput_per_s;
           Printf.sprintf "%.3f" r.p50_ms;

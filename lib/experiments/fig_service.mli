@@ -26,8 +26,18 @@ type row = {
   committed : int;
   serialized : int;
       (** requests that waited out at least one conflicting batch *)
+  serialized_rate : float;  (** [serialized /. submitted]; deterministic *)
   denied : int;  (** door denials plus denied and aborted transactions *)
   batches : int;  (** admission batches across all rounds *)
+  full_evals : int;
+      (** from-scratch oracle evaluations the cell cost — checker-pool
+          misses only, now that transactions run over pooled persistent
+          sessions. Depends on pool scheduling (a cold pool misses once
+          per concurrently active worker), so this column joins the
+          wall-clock ones outside the determinism digest. *)
+  full_evals_per_txn : float;
+      (** [full_evals /. max 1 committed]; the bench asserts this stays
+          strictly below 1 *)
   mean_makespan : float;
       (** mean schedule makespan of committed non-trivial transactions *)
   throughput_per_s : float;  (** committed transactions per wall second *)

@@ -1,60 +1,232 @@
 open Chronus_graph
-open Chronus_flow
+
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+type entry = {
+  e_u : Graph.node;
+  e_v : Graph.node;
+  e_worst : int;
+  e_steady : int;
+}
 
 type t = {
-  links : (Graph.node * Graph.node) list;
-  switches : Graph.node list;
+  fid : int;
+  demand : int;
   dst : Graph.node;
+  links : entry list;
+  writes : Graph.node list;
+  switches : Graph.node list;
 }
 
 type conflict =
-  | Shared_link of Graph.node * Graph.node
-  | Shared_destination of Graph.node
+  | Same_flow of int
+  | Shared_rule of { switch : Graph.node; dst : Graph.node }
+  | Link_overload of {
+      u : Graph.node;
+      v : Graph.node;
+      combined : int;
+      capacity : int;
+    }
 
 let compare_link (u1, v1) (u2, v2) =
   match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
 
-let of_paths = function
-  | [] -> invalid_arg "Footprint.of_paths: no paths"
-  | first :: _ as paths ->
-      let links =
-        List.concat_map Path.edges paths
-        |> List.sort_uniq compare_link
-      in
-      let switches =
-        List.concat paths |> List.sort_uniq Int.compare
-      in
-      { links; switches; dst = Path.destination first }
-
-let of_instance inst =
-  of_paths [ inst.Instance.p_init; inst.Instance.p_fin ]
-
-(* Both link lists are sorted, so the first shared link (in lexicographic
-   order, which makes [conflict] deterministic and symmetric) falls out
-   of one merge walk. *)
-let first_shared_link a b =
-  let rec walk xs ys =
-    match (xs, ys) with
-    | [], _ | _, [] -> None
-    | x :: xs', y :: ys' -> (
-        match compare_link x y with
-        | 0 -> Some x
-        | c when c < 0 -> walk xs' ys
-        | _ -> walk xs ys')
+(* The set of arrival delays achievable at each switch of the old∪new
+   union by a *hybrid* walk from the source: at every switch the walk may
+   follow either the old or the new rule. Every transient cohort's actual
+   route is such a walk (it consults exactly one of the two rules per
+   switch), and a consistent schedule keeps every cohort loop-free, so
+   walks of at most [n - 1] hops (n = union switch count) cover all of
+   them. Computed as a hop-bounded BFS over (switch, delay) pairs —
+   rediscovering a pair at a later hop has strictly less hop budget left,
+   so first-discovery pruning is exact. *)
+let delay_spread g current target =
+  let succ = Itbl.create 16 in
+  let add_edge (u, v) =
+    let d = Graph.delay g u v in
+    let prior = Option.value ~default:[] (Itbl.find_opt succ u) in
+    if not (List.mem (v, d) prior) then Itbl.replace succ u ((v, d) :: prior)
   in
-  walk a b
+  List.iter add_edge (Path.edges current);
+  List.iter add_edge (Path.edges target);
+  let switches = List.sort_uniq Int.compare (current @ target) in
+  let n = List.length switches in
+  let spread = Itbl.create 16 in
+  let note v d =
+    let prior = Option.value ~default:[] (Itbl.find_opt spread v) in
+    if List.mem d prior then false
+    else begin
+      Itbl.replace spread v (d :: prior);
+      true
+    end
+  in
+  let src = Path.source current in
+  ignore (note src 0);
+  let frontier = ref [ (src, 0) ] in
+  for _hop = 1 to n - 1 do
+    frontier :=
+      List.concat_map
+        (fun (u, d) ->
+          List.filter_map
+            (fun (v, dl) -> if note v (d + dl) then Some (v, d + dl) else None)
+            (Option.value ~default:[] (Itbl.find_opt succ u)))
+        !frontier
+  done;
+  fun v -> match Itbl.find_opt spread v with Some l -> List.length l | None -> 0
 
-let conflict a b =
-  match first_shared_link a.links b.links with
-  | Some (u, v) -> Some (Shared_link (u, v))
-  | None -> if a.dst = b.dst then Some (Shared_destination a.dst) else None
+let of_flow ~graph ~fid ~demand ~current ~target =
+  if Path.source current <> Path.source target then
+    invalid_arg "Footprint.of_flow: paths share no source";
+  let dst = Path.destination current in
+  if dst <> Path.destination target then
+    invalid_arg "Footprint.of_flow: paths share no destination";
+  let spread = delay_spread graph current target in
+  let link_set =
+    List.sort_uniq compare_link (Path.edges current @ Path.edges target)
+  in
+  let links =
+    List.map
+      (fun (u, v) ->
+        {
+          e_u = u;
+          e_v = v;
+          e_worst = demand * spread u;
+          e_steady = (if Path.mem_edge u v current then demand else 0);
+        })
+      link_set
+  in
+  let switches = List.sort_uniq Int.compare (current @ target) in
+  let writes =
+    List.filter
+      (fun v -> Path.next_hop current v <> Path.next_hop target v)
+      switches
+  in
+  { fid; demand; dst; links; writes; switches }
+
+(* ------------------------------------------------------------------ *)
+(* Batch admission. The budget accumulates, per directed link, the
+   admitted transactions' *margin* — worst-case transient load beyond
+   their steady share. Soundness rests on two facts: (1) every admitted
+   transaction's schedule is still gated by its own oracle run against
+   the precise steady background, so a link where at most one admitted
+   transaction has positive margin needs no joint check at all (the
+   others contribute at most their steady share, which that gate already
+   charges); (2) where two or more margins meet, the joint transient
+   load is at most the total steady load plus the sum of their margins —
+   the inequality [admit] enforces. A transaction alone on all its links
+   is therefore always admitted: precision is the oracle's job, the
+   budget only rules out cross-transaction overload. *)
+module Budget = struct
+  type budget = {
+    capacity : Graph.node -> Graph.node -> int;
+    steady : Graph.node -> Graph.node -> int;
+    fids : int Itbl.t;  (** flow id -> rid of the admitted txn moving it *)
+    slots : int Itbl.t;  (** packed (switch, dst) rule slot -> writer rid *)
+    reserve : (int * int) Itbl.t;
+        (** packed link -> (sum of admitted margins, first rid with
+            positive margin) *)
+  }
+
+  let pack2 u v = (u lsl 21) lor v
+
+  let create ~capacity ~steady =
+    {
+      capacity;
+      steady;
+      fids = Itbl.create 16;
+      slots = Itbl.create 32;
+      reserve = Itbl.create 64;
+    }
+
+  let record b ~rid fp =
+    Itbl.replace b.fids fp.fid rid;
+    List.iter
+      (fun w ->
+        let key = pack2 w fp.dst in
+        if not (Itbl.mem b.slots key) then Itbl.replace b.slots key rid)
+      fp.writes;
+    List.iter
+      (fun e ->
+        let margin = e.e_worst - e.e_steady in
+        if margin > 0 then
+          let key = pack2 e.e_u e.e_v in
+          match Itbl.find_opt b.reserve key with
+          | Some (r, first) -> Itbl.replace b.reserve key (r + margin, first)
+          | None -> Itbl.replace b.reserve key (margin, rid))
+      fp.links
+
+  let admit b ~rid fp =
+    let clash =
+      match Itbl.find_opt b.fids fp.fid with
+      | Some other -> Some (other, Same_flow fp.fid)
+      | None -> (
+          let rec slot_clash = function
+            | [] -> None
+            | w :: rest -> (
+                match Itbl.find_opt b.slots (pack2 w fp.dst) with
+                | Some other ->
+                    Some (other, Shared_rule { switch = w; dst = fp.dst })
+                | None -> slot_clash rest)
+          in
+          match slot_clash fp.writes with
+          | Some _ as c -> c
+          | None ->
+              let rec link_clash = function
+                | [] -> None
+                | e :: rest -> (
+                    let margin = e.e_worst - e.e_steady in
+                    if margin = 0 then link_clash rest
+                    else
+                      match Itbl.find_opt b.reserve (pack2 e.e_u e.e_v) with
+                      | Some (r, first) when r > 0 ->
+                          let combined =
+                            b.steady e.e_u e.e_v + r + margin
+                          in
+                          let capacity = b.capacity e.e_u e.e_v in
+                          if combined > capacity then
+                            Some
+                              ( first,
+                                Link_overload
+                                  { u = e.e_u; v = e.e_v; combined; capacity }
+                              )
+                          else link_clash rest
+                      | _ -> link_clash rest)
+              in
+              link_clash fp.links)
+    in
+    match clash with
+    | Some (other, c) -> Error (other, c)
+    | None ->
+        record b ~rid fp;
+        Ok ()
+end
+
+let conflict ~capacity ~steady a b =
+  let budget = Budget.create ~capacity ~steady in
+  match Budget.admit budget ~rid:0 a with
+  | Error (_, c) -> Some c
+  | Ok () -> (
+      match Budget.admit budget ~rid:1 b with
+      | Ok () -> None
+      | Error (_, c) -> Some c)
 
 let pp ppf fp =
-  Format.fprintf ppf "@[<h>footprint: %d links, %d switches, dst v%d@]"
+  Format.fprintf ppf
+    "@[<h>footprint: flow %d, %d links, %d writes, dst v%d@]" fp.fid
     (List.length fp.links)
-    (List.length fp.switches)
+    (List.length fp.writes)
     fp.dst
 
 let pp_conflict ppf = function
-  | Shared_link (u, v) -> Format.fprintf ppf "shared link v%d -> v%d" u v
-  | Shared_destination d -> Format.fprintf ppf "shared destination v%d" d
+  | Same_flow fid -> Format.fprintf ppf "same flow %d" fid
+  | Shared_rule { switch; dst } ->
+      Format.fprintf ppf "shared rule slot (v%d, dst v%d)" switch dst
+  | Link_overload { u; v; combined; capacity } ->
+      Format.fprintf ppf
+        "possible overload of v%d -> v%d (worst-case %d > cap %d)" u v
+        combined capacity

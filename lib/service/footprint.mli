@@ -1,52 +1,122 @@
-(** Transaction footprints: the part of the network one update request
-    touches, and the conflict test the service's admission control is
-    built on.
+(** Rule-granular transaction footprints: what one update request can
+    touch, measured precisely enough that merely sharing a link no longer
+    serializes two transactions.
 
-    A request to move flow [f] from its current path to a target path
-    can, during the transition, place load on exactly the directed links
-    of the two paths' union (every transient cohort follows either the
-    old or the new rule at each switch, so it never leaves that union)
-    and rewrite rules on exactly the union's switches. Two requests
-    whose footprints are disjoint therefore commute: neither can observe
-    the other through link load or rule space, so committing them in
-    either order — or concurrently — yields the same final
-    configuration. SERVICE.md states the rule set operators see; this
-    module is its implementation. *)
+    A request moving flow [f] from its current path to a target path
+    rewrites forwarding rules on exactly the switches whose next hop for
+    [f]'s destination changes (the {e write set}), and its transient
+    cohorts place load on exactly the directed links of the two paths'
+    union. For every such link the footprint records two numbers: the
+    flow's {e steady} share (its demand, on current-path links) and a
+    sound {e worst-case} transient bound — demand times the number of
+    distinct arrival delays achievable at the link's tail by hybrid
+    old/new walks from the source. Simultaneously arriving cohorts must
+    have pairwise-distinct delays, so no schedule, however adversarial,
+    can exceed that bound on a link; links on the shared prefix of both
+    paths have a single achievable delay and the bound collapses to the
+    steady share.
+
+    Two transactions then conflict only if they move the same flow, write
+    the same [(switch, destination)] rule slot, or their combined
+    worst-case transient load can overload a shared link — the test
+    {!Budget} applies per batch and {!conflict} exposes pairwise.
+    SERVICE.md states the rule set operators see; this module is its
+    implementation. *)
 
 open Chronus_graph
-open Chronus_flow
+
+type entry = {
+  e_u : Graph.node;
+  e_v : Graph.node;  (** the directed link [e_u -> e_v] *)
+  e_worst : int;  (** worst-case transient load the flow can place on it *)
+  e_steady : int;  (** the flow's current steady load on it (demand or 0) *)
+}
 
 type t = private {
-  links : (Graph.node * Graph.node) list;
-      (** directed links of the old∪new path union, sorted *)
-  switches : Graph.node list;  (** switches of the union, sorted *)
-  dst : Graph.node;  (** the flow's destination *)
+  fid : int;  (** the flow the transaction moves *)
+  demand : int;
+  dst : Graph.node;  (** the flow's destination (the rule-table key) *)
+  links : entry list;
+      (** directed links of the old∪new path union, sorted by (u, v) *)
+  writes : Graph.node list;
+      (** switches whose rule for [dst] the transition installs, removes
+          or rewrites, sorted *)
+  switches : Graph.node list;  (** all switches of the union, sorted *)
 }
-(** The footprint of one transaction. Built only by {!of_paths} /
-    {!of_instance}, so the sorted invariants always hold. *)
+(** Built only by {!of_flow}, so the sorted invariants always hold. *)
 
-(** Why two footprints cannot run in the same batch. *)
+(** Why two transactions cannot run in the same batch. *)
 type conflict =
-  | Shared_link of Graph.node * Graph.node
-      (** both transitions can load this directed link: capacity
-          validated for one is invalidated by the other *)
-  | Shared_destination of Graph.node
-      (** forwarding rules are destination-keyed, so two updates towards
-          the same destination rewrite the same rule space *)
+  | Same_flow of int
+      (** both transactions move this flow: updates of one flow are
+          inherently ordered *)
+  | Shared_rule of { switch : Graph.node; dst : Graph.node }
+      (** both write the rule slot for [dst] at [switch] *)
+  | Link_overload of {
+      u : Graph.node;
+      v : Graph.node;
+      combined : int;
+          (** total steady load plus the admitted transactions' worst-case
+              margins on the link, the candidate included *)
+      capacity : int;
+    }
+      (** the combined worst-case transient load of the link-sharing
+          transactions can exceed the link's capacity *)
 
-val of_paths : Path.t list -> t
-(** Footprint of a transaction whose transient traffic is confined to
-    the given paths (for an update request: current path and target
-    path). The destination is taken from the first path.
-    @raise Invalid_argument on an empty list or an empty first path. *)
+val of_flow :
+  graph:Graph.t ->
+  fid:int ->
+  demand:int ->
+  current:Path.t ->
+  target:Path.t ->
+  t
+(** Footprint of the transaction moving flow [fid] from [current] to
+    [target]. @raise Invalid_argument if the paths do not share both
+    endpoints. *)
 
-val of_instance : Instance.t -> t
-(** [of_paths [p_init; p_fin]] of the instance. *)
+(** Batch admission: a budget accumulates the footprints admitted into
+    one concurrent batch and rejects a candidate that conflicts with any
+    of them. Per-link accounting is an accumulator, not a pairwise test —
+    three transactions sharing one link are admitted only if the link can
+    absorb all three worst cases together.
 
-val conflict : t -> t -> conflict option
-(** The first conflict between two footprints in the order of the
-    {!conflict} type (links before destinations, links in lexicographic
-    order), or [None] when the transactions commute. Symmetric. *)
+    A candidate whose footprint meets no admitted transaction is always
+    admitted: the budget only rules out {e cross-transaction} overload,
+    while each transaction's own schedule is still gated by its oracle
+    run against the precise steady background. Where at most one admitted
+    transaction has transient headroom beyond its steady share on a link,
+    that oracle gate already covers the combination, so no budget check
+    is charged — this is what lets transactions sharing fully loaded but
+    steady links run concurrently. *)
+module Budget : sig
+  type budget
+
+  val create :
+    capacity:(Graph.node -> Graph.node -> int) ->
+    steady:(Graph.node -> Graph.node -> int) ->
+    budget
+  (** [steady u v] must be the total steady load all flows currently
+      place on [u -> v] (admitted candidates' own shares included — the
+      admission test subtracts each footprint's [e_steady] itself). *)
+
+  val admit : budget -> rid:int -> t -> (unit, int * conflict) result
+  (** Admit the footprint into the batch, or report the first conflict
+      together with the rid of the earliest-admitted transaction
+      responsible for it. [Ok] records the footprint in the budget;
+      [Error] leaves the budget unchanged. *)
+end
+
+val conflict :
+  capacity:(Graph.node -> Graph.node -> int) ->
+  steady:(Graph.node -> Graph.node -> int) ->
+  t ->
+  t ->
+  conflict option
+(** Pairwise convenience over {!Budget}: the first conflict between two
+    footprints ([Same_flow], then shared rule slots in switch order, then
+    overloadable links in lexicographic order), or [None] when they can
+    share a batch. Symmetric: only links where {e both} footprints have
+    worst-case load beyond their steady share are charged. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_conflict : Format.formatter -> conflict -> unit

@@ -14,6 +14,7 @@ let c_denied = Obs.Counter.v "service.denied"
 let c_committed = Obs.Counter.v "service.committed"
 let c_aborted = Obs.Counter.v "service.aborted"
 let c_batches = Obs.Counter.v "service.batches"
+let c_fp_reuse = Obs.Counter.v "service.footprint_reuse"
 let g_queue = Obs.Gauge.v "service.queue_depth"
 let s_txn = Obs.Span.v "service.txn"
 
@@ -58,6 +59,9 @@ type request = {
   r_target : Path.t;
   r_submitted_ns : int;
   r_after : int list;  (** rids waited for so far, most recent first *)
+  mutable r_fp : (Path.t * Footprint.t) option;
+      (** footprint cached at submit, witnessed by the current path it
+          was derived from; refreshed only if a commit moved the flow *)
 }
 
 module Itbl = Hashtbl.Make (struct
@@ -77,6 +81,11 @@ type t = {
   queue_limit : int;
   policy : conflict_policy;
   exec : exec_mode;
+  lock : Mutex.t;  (** guards [checkers]; taken only around list ops *)
+  mutable checkers : Oracle.Checker.t list;
+      (** idle pooled oracle sessions, all over [graph]; workers take one
+          per transaction, retarget it, and put it back — so the session
+          count is bounded by the pool's concurrency, not the load *)
 }
 
 let create ?(queue_limit = 4096) ?(conflict_policy = Serialize)
@@ -97,6 +106,8 @@ let create ?(queue_limit = 4096) ?(conflict_policy = Serialize)
     queue_limit;
     policy = conflict_policy;
     exec;
+    lock = Mutex.create ();
+    checkers = [];
   }
 
 let graph t = t.graph
@@ -144,6 +155,13 @@ let submit t ~fid ~target =
   | None ->
       let rid = t.next_rid in
       t.next_rid <- rid + 1;
+      (* Derive the footprint once, at the door: batch selection reuses it
+         on every pass for as long as the flow's current path stands. *)
+      let current = Itbl.find t.route_tbl fid in
+      let fp =
+        Footprint.of_flow ~graph:t.graph ~fid
+          ~demand:(Itbl.find t.demands fid) ~current ~target
+      in
       t.queue <-
         {
           r_rid = rid;
@@ -151,16 +169,18 @@ let submit t ~fid ~target =
           r_target = target;
           r_submitted_ns = Obs.clock_ns ();
           r_after = [];
+          r_fp = Some (current, fp);
         }
         :: t.queue;
       Obs.Gauge.observe g_queue (List.length t.queue);
       Ok rid
 
 (* The steady load every flow except [fid] places on the network — the
-   [?background] the oracle charges and the capacity [residual_graph]
-   subtracts. Within a batch the other selected flows sit on their old
-   routes here; that is sound because footprint disjointness means they
-   never touch this transaction's links, before or after their commit. *)
+   [?background] the oracle charges and the capacity pre-check subtracts.
+   Within a batch the other selected flows sit on their old routes here;
+   that is sound because the budget admission bounds every batchmate's
+   transient load beyond its steady share on each shared link (and flows
+   meeting this transaction nowhere never touch its links at all). *)
 let background_for t fid =
   let others =
     Itbl.fold
@@ -170,10 +190,39 @@ let background_for t fid =
   in
   Instance.background others
 
-(* Solve one admitted transaction: project the flow onto its residual
-   network, schedule with the exact greedy, then gate the commit on the
-   full-capacity oracle with the cross-flow background — the equivalence
-   of the two views is asserted differentially in test/suite_service.ml. *)
+(* The persistent cross-batch oracle sessions. A transaction takes an
+   idle session from the pool (or opens one on a miss — the only
+   remaining from-scratch evaluation in the whole pipeline), retargets it
+   at its own instance with the batch's steady background, and returns it
+   after the verdict. Sessions are single-domain state, but a taken
+   session is exclusively held, so only the free-list needs the lock. *)
+let acquire_checker t inst bg =
+  Mutex.lock t.lock;
+  let pooled =
+    match t.checkers with
+    | [] -> None
+    | ck :: rest ->
+        t.checkers <- rest;
+        Some ck
+  in
+  Mutex.unlock t.lock;
+  match pooled with
+  | Some ck ->
+      Oracle.Checker.retarget ~background:bg ck inst;
+      ck
+  | None -> Oracle.Checker.create ~background:bg inst Schedule.empty
+
+let release_checker t ck =
+  Mutex.lock t.lock;
+  t.checkers <- ck :: t.checkers;
+  Mutex.unlock t.lock
+
+(* Solve one admitted transaction: schedule with the exact greedy driving
+   a pooled oracle session against the cross-flow background. Every
+   candidate check is an incremental probe over cached cohort
+   simulations, and a [Scheduled] outcome leaves the session's base
+   holding exactly the final schedule — its cached report *is* the
+   full-capacity oracle's verdict, so the commit gate is free. *)
 let solve t req =
   let fid = req.r_fid and target = req.r_target in
   let demand = Itbl.find t.demands fid in
@@ -193,27 +242,30 @@ let solve t req =
           (Capacity
              { u; v; need = demand; available = Graph.capacity t.graph u v - bg u v })
     | None -> (
-        let residual = Instance.residual_graph t.graph bg in
         match
           try
             Ok
-              (Instance.create ~graph:residual ~demand ~p_init:current
+              (Instance.create ~graph:t.graph ~demand ~p_init:current
                  ~p_fin:target)
           with Instance.Ill_formed msg -> Error (Invalid_path msg)
         with
         | Error d -> Error d
         | Ok inst -> (
-            match Chronus_core.Greedy.schedule ~mode:Chronus_core.Greedy.Exact inst with
+            let ck = acquire_checker t inst bg in
+            match
+              Chronus_core.Greedy.schedule ~mode:Chronus_core.Greedy.Exact
+                ~oracle:ck inst
+            with
             | Chronus_core.Greedy.Infeasible { remaining; _ } ->
+                release_checker t ck;
                 Error (Unschedulable { remaining = List.length remaining })
             | Chronus_core.Greedy.Scheduled sched ->
-                let full =
-                  Instance.create ~graph:t.graph ~demand ~p_init:current
-                    ~p_fin:target
+                let report = Oracle.Checker.base_report ck in
+                let gate_ok =
+                  Schedule.covers inst sched && report.Oracle.ok
                 in
-                let report = Oracle.evaluate ~background:bg full sched in
-                if not (Schedule.covers full sched && report.Oracle.ok) then
-                  Error (Unschedulable { remaining = 0 })
+                release_checker t ck;
+                if not gate_ok then Error (Unschedulable { remaining = 0 })
                 else
                   let execution =
                     match t.exec with
@@ -224,9 +276,22 @@ let solve t req =
                             (Chronus_topo.Rng.derive seed [ 17; req.r_rid ])
                             0x3FFFFFFF
                         in
+                        (* Execution stays on the residual projection so
+                           the simulated monitor sees the headroom other
+                           flows leave, exactly as the operator's network
+                           would. *)
+                        let exec_inst =
+                          match
+                            Instance.create
+                              ~graph:(Instance.residual_graph t.graph bg)
+                              ~demand ~p_init:current ~p_fin:target
+                          with
+                          | inst' -> inst'
+                          | exception Instance.Ill_formed _ -> inst
+                        in
                         let run =
                           Chronus_exec.Timed_exec.run ~config ~seed:run_seed
-                            inst
+                            exec_inst
                         in
                         let result = run.Chronus_exec.Timed_exec.result in
                         Some
@@ -243,38 +308,63 @@ let solve t req =
                   in
                   Ok (sched, execution)))
 
+(* The submit-time footprint, reused verbatim for as long as the flow
+   still sits on the path it was derived from; only a commit that moved
+   the flow (so the request was serialized behind it) forces a
+   re-derivation against the new current path. *)
+let footprint_of t req =
+  let current = Itbl.find t.route_tbl req.r_fid in
+  match req.r_fp with
+  | Some (witness, fp) when Path.equal witness current ->
+      Obs.Counter.incr c_fp_reuse;
+      fp
+  | _ ->
+      let fp =
+        Footprint.of_flow ~graph:t.graph ~fid:req.r_fid
+          ~demand:(Itbl.find t.demands req.r_fid) ~current ~target:req.r_target
+      in
+      req.r_fp <- Some (current, fp);
+      fp
+
+(* Total steady load of every flow's current route — the [steady] the
+   admission budget charges (each candidate's own share is subtracted
+   inside the budget, entry by entry). *)
+let total_steady t =
+  let flows =
+    Itbl.fold
+      (fun fid p acc -> (Itbl.find t.demands fid, p) :: acc)
+      t.route_tbl []
+  in
+  Instance.background flows
+
 (* One admission round: scan the pending requests in rid order; a request
-   joins the batch iff its footprint conflicts with no already-selected
-   transaction, so earlier requests always win footprint races and the
-   batch composition is independent of the job count. *)
+   joins the batch iff the budget accepts its cached footprint against
+   everything already selected, so earlier requests always win admission
+   races and the batch composition is independent of the job count. *)
 let select_batch t pending =
+  let budget =
+    Footprint.Budget.create
+      ~capacity:(Graph.capacity t.graph)
+      ~steady:(total_steady t)
+  in
   let selected = ref [] (* (request, footprint), reverse rid order *) in
   let deferred = ref [] and denied = ref [] in
   List.iter
     (fun req ->
-      let fp =
-        Footprint.of_paths [ Itbl.find t.route_tbl req.r_fid; req.r_target ]
-      in
-      let clash =
-        List.find_opt
-          (fun (_, sfp) -> Footprint.conflict fp sfp <> None)
-          (List.rev !selected)
-      in
-      match clash with
-      | None ->
+      let fp = footprint_of t req in
+      match Footprint.Budget.admit budget ~rid:req.r_rid fp with
+      | Ok () ->
           Obs.Counter.incr c_admitted;
           selected := (req, fp) :: !selected
-      | Some (winner, wfp) -> (
-          let reason = Option.get (Footprint.conflict fp wfp) in
+      | Error (with_rid, reason) -> (
           match t.policy with
           | Serialize ->
               Obs.Counter.incr c_serialized;
               deferred :=
-                { req with r_after = winner.r_rid :: req.r_after } :: !deferred
+                { req with r_after = with_rid :: req.r_after } :: !deferred
           | Deny ->
               Obs.Counter.incr c_denied;
-              denied :=
-                (req, Conflict { with_rid = winner.r_rid; reason }) :: !denied))
+              denied := (req, Conflict { with_rid; reason }) :: !denied))
     pending;
   (List.rev !selected, List.rev !deferred, List.rev !denied)
 

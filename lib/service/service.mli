@@ -5,14 +5,24 @@
     The one-shot Chronus solver moves a single flow; a production
     controller fields many requests for many flows sharing links. The
     service closes that gap with the Software-Transactional-Network
-    discipline: each request is a {e transaction}, its {!Footprint} is
-    the part of the network it can touch, and a batch of pairwise
-    disjoint-footprint transactions is solved concurrently over
-    [Chronus_parallel.Pool] — disjoint transactions commute, so any
-    interleaving (and any job count) yields the same final routes.
+    discipline: each request is a {e transaction}, its {!Footprint}
+    records rule-granular write sets and per-link worst-case transient
+    loads, and a batch of transactions the {!Footprint.Budget} admits
+    together is solved concurrently over [Chronus_parallel.Pool].
+    Admitted transactions either touch pairwise disjoint state or share
+    links with enough capacity for their combined worst-case transients,
+    so any interleaving (and any job count) yields the same final
+    routes; merely sharing a link no longer serializes two requests.
     Conflicting requests are serialized into a later batch (default) or
     denied outright, always with a structured reason naming the conflict
     and the transaction that won.
+
+    Each transaction's schedule search and commit gate run through a
+    pooled persistent {!Oracle.Checker} session (retargeted per
+    transaction, cross-flow steady load folded into its background), so
+    admission-to-verdict costs incremental probes over cached cohort
+    simulations rather than from-scratch oracle evaluations — the bench's
+    [service] object reports [full_evals_per_txn] well below 1.
 
     Request lifecycle (SERVICE.md is the operator-facing guide):
 
@@ -37,7 +47,7 @@
 open Chronus_graph
 open Chronus_flow
 
-(** What to do with a request whose footprint conflicts with an
+(** What to do with a request the admission budget rejects against an
     already-selected transaction of the same batch. *)
 type conflict_policy =
   | Serialize  (** defer it to a later batch (the default) *)
@@ -54,7 +64,8 @@ type denial =
   | Queue_full of { limit : int }  (** back-pressure: retry after a drain *)
   | Conflict of { with_rid : int; reason : Footprint.conflict }
       (** [Deny] policy only: the named earlier request won the
-          footprint race this batch *)
+          admission race this batch (same flow, shared rule slot, or a
+          shared link that cannot absorb both worst cases) *)
   | Capacity of {
       u : Graph.node;
       v : Graph.node;
@@ -149,14 +160,15 @@ val submit : t -> fid:int -> target:Path.t -> (int, denial) result
     well-formed. *)
 
 val process : ?jobs:int -> t -> outcome list
-(** Drain the queue: repeatedly select the maximal prefix-priority set
-    of pairwise non-conflicting requests (scanning in rid order, so
-    earlier requests always win footprint races), solve the selected
-    batch concurrently on [jobs] pool workers (default
-    [Chronus_parallel.Pool.default_jobs ()]), commit the survivors in
-    rid order, and carry deferred requests into the next batch.
-    Returns one outcome per queued request, sorted by rid. All fields
-    except [wall_ns] are independent of [jobs]. *)
+(** Drain the queue: repeatedly select the prefix-priority set of
+    requests the admission budget accepts together (scanning cached
+    footprints in rid order, so earlier requests always win admission
+    races), solve the selected batch concurrently on [jobs] pool workers
+    (default [Chronus_parallel.Pool.default_jobs ()]) — each over a
+    pooled persistent oracle session — commit the survivors in rid
+    order, and carry deferred requests into the next batch. Returns one
+    outcome per queued request, sorted by rid. All fields except
+    [wall_ns] are independent of [jobs]. *)
 
 val pp_denial : Format.formatter -> denial -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -188,6 +188,74 @@ let rebase_matches =
                (O.evaluate inst (Schedule.add v t base')))
            (unscheduled inst base'))
 
+(* retarget re-points a pooled session at another instance over the same
+   graph: afterwards the session must be indistinguishable from a fresh
+   [create inst' Schedule.empty] — base report and probes alike — and
+   retargeting back must restore the original judgements. The reverse
+   move (p_init and p_fin swapped) is a genuinely different instance on
+   the same physical graph, exactly the service pool's situation. *)
+let retarget_matches =
+  Test.make ~count ~name:"retarget = fresh create on the new instance"
+    (Helpers.arbitrary_instance ())
+    (fun seed ->
+      let inst = Helpers.instance_of_seed seed in
+      let rng = Rng.derive seed [ 41 ] in
+      let ck = O.Checker.create inst (random_partial rng inst) in
+      let inst' =
+        Instance.create ~graph:inst.Instance.graph
+          ~demand:inst.Instance.demand ~p_init:inst.Instance.p_fin
+          ~p_fin:inst.Instance.p_init
+      in
+      O.Checker.retarget ck inst';
+      let fresh v t = O.evaluate inst' (Schedule.add v t Schedule.empty) in
+      let ok1 =
+        report_eq (O.Checker.base_report ck) (O.evaluate inst' Schedule.empty)
+        && Schedule.is_empty (O.Checker.base ck)
+        && List.for_all
+             (fun v ->
+               let t = Rng.in_range rng 0 7 in
+               report_eq (O.Checker.probe ck v t) (fresh v t))
+             (Instance.switches_to_update inst')
+      in
+      O.Checker.retarget ck inst;
+      ok1
+      && report_eq (O.Checker.base_report ck) (O.evaluate inst Schedule.empty)
+      && List.for_all
+           (fun v ->
+             let t = Rng.in_range rng 0 7 in
+             report_eq (O.Checker.probe ck v t)
+               (O.evaluate inst (Schedule.add v t Schedule.empty)))
+           (Instance.switches_to_update inst))
+
+(* set_background swaps the cross-flow steady load under a session
+   without re-tracing: reports must match a session created with that
+   background from the start, on the base and on probes (cached and
+   fresh alike). *)
+let set_background_matches =
+  Test.make ~count ~name:"set_background = fresh create with background"
+    (Helpers.arbitrary_instance ())
+    (fun seed ->
+      let inst = Helpers.instance_of_seed seed in
+      let rng = Rng.derive seed [ 43 ] in
+      let base = random_partial rng inst in
+      let ck = O.Checker.create inst base in
+      (* Populate the probe cache before the swap so reassembly covers
+         cached simulations too. *)
+      let probed =
+        List.map
+          (fun v -> (v, Rng.in_range rng 0 7))
+          (unscheduled inst base)
+      in
+      List.iter (fun (v, t) -> ignore (O.Checker.probe ck v t)) probed;
+      let bg u v = (u + (2 * v)) mod 2 in
+      O.Checker.set_background ck bg;
+      let ck' = O.Checker.create ~background:bg inst base in
+      report_eq (O.Checker.base_report ck) (O.Checker.base_report ck')
+      && List.for_all
+           (fun (v, t) ->
+             report_eq (O.Checker.probe ck v t) (O.Checker.probe ck' v t))
+           probed)
+
 (* --- Golden replays -----------------------------------------------------
 
    Schedules produced by the schedulers before the incremental oracle
@@ -310,6 +378,8 @@ let suite =
         probe_list_matches;
         push_pop_matches;
         rebase_matches;
+        retarget_matches;
+        set_background_matches;
       ]
   in
   ( name,

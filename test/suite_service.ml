@@ -1,16 +1,20 @@
-(* The transactional update service: footprint conflict detection, the
-   commutativity of disjoint-footprint transactions (any submission
-   order, any job count — same final routes), deterministic
-   serialization of conflicting ones by request id, structured denials,
-   the background-vs-residual oracle equivalence the service's solver
-   rests on, a golden multi-flow replay through the timed executor, and
-   jobs-parity of the service figure's deterministic columns. *)
+(* The transactional update service: rule-granular footprint conflict
+   detection (same flow, shared rule slot, link overload), soundness of
+   the per-link worst-case transient bounds against the oracle, joint
+   safety of concurrently admitted batchmates, the commutativity of
+   disjoint-footprint transactions (any submission order, any job count
+   — same final routes), deterministic serialization of conflicting ones
+   by request id, structured denials, the background-vs-residual oracle
+   equivalence the service's solver rests on, a golden multi-flow replay
+   through the timed executor, and jobs-parity of the service figure's
+   deterministic columns. *)
 
 open Chronus_graph
 open Chronus_flow
 open Chronus_topo
 module Svc = Chronus_service.Service
 module Footprint = Chronus_service.Footprint
+module Obs = Chronus_obs.Obs
 module E = Chronus_experiments
 
 let dig v =
@@ -60,28 +64,368 @@ let submit_ok svc ~fid ~target =
   | Error d -> Alcotest.failf "submit denied: %a" Svc.pp_denial d
 
 (* ------------------------------------------------------------------ *)
-(* Footprints *)
+(* Footprints: the rule-granular conflict relation. *)
+
+let fail_conflict expected actual =
+  Alcotest.failf "expected %s, got %s" expected
+    (match actual with
+    | None -> "no conflict"
+    | Some c -> Format.asprintf "%a" Footprint.pp_conflict c)
 
 let test_footprint_conflicts () =
-  let a = Footprint.of_paths [ via1 0; via2 0 ] in
-  let b = Footprint.of_paths [ via1 10; via2 10 ] in
-  Alcotest.(check bool) "disjoint diamonds commute" true
-    (Footprint.conflict a b = None);
-  (match Footprint.conflict a a with
-  | Some (Footprint.Shared_link (0, 1)) -> ()
-  | other ->
-      Alcotest.failf "expected shared link v0 -> v1, got %s"
-        (match other with
-        | None -> "no conflict"
-        | Some c -> Format.asprintf "%a" Footprint.pp_conflict c));
-  (* Link-disjoint but same destination: rule space still collides. *)
   let g = Graph.create () in
   diamond g 0;
-  Graph.add_edge ~capacity:2 ~delay:1 g 7 3;
-  let c = Footprint.of_paths [ [ 7; 3 ] ] in
-  match Footprint.conflict a c with
-  | Some (Footprint.Shared_destination 3) -> ()
-  | _ -> Alcotest.fail "expected shared destination v3"
+  diamond g 10;
+  let fp fid current target =
+    Footprint.of_flow ~graph:g ~fid ~demand:1 ~current ~target
+  in
+  let conflict ~flows a b =
+    Footprint.conflict
+      ~capacity:(Graph.capacity g)
+      ~steady:(Instance.background (List.map (fun p -> (1, p)) flows))
+      a b
+  in
+  let a = fp 0 (via1 0) (via2 0) in
+  let b = fp 1 (via1 10) (via2 10) in
+  Alcotest.(check bool) "disjoint diamonds commute" true
+    (conflict ~flows:[ via1 0; via1 10 ] a b = None);
+  (match conflict ~flows:[ via1 0 ] a a with
+  | Some (Footprint.Same_flow 0) -> ()
+  | other -> fail_conflict "same flow 0" other);
+  (* Opposite arms of one diamond: both transactions rewrite the rule
+     slot for destination v3 at the shared source switch. *)
+  let b' = fp 1 (via2 0) (via1 0) in
+  match conflict ~flows:[ via1 0; via2 0 ] a b' with
+  | Some (Footprint.Shared_rule { switch = 0; dst = 3 }) -> ()
+  | other -> fail_conflict "shared rule slot (v0, dst v3)" other
+
+(* The detour lattice: two flows with distinct destinations (v0 -> v1
+   and v2 -> v3 on direct links) whose min-hop detours meet only on the
+   chord v8 -> v9. At chord capacity 1 the pair's combined worst case is
+   2 and the budget names exactly that link; at capacity 2 the chord
+   absorbs both worst cases and the pair — which every path-granular
+   model would serialize — shares a batch. *)
+let detour_lattice cap =
+  let g = Graph.create () in
+  List.iter
+    (fun (u, v) -> Graph.add_edge ~capacity:cap ~delay:1 g u v)
+    [ (0, 1); (0, 8); (9, 1); (2, 3); (2, 8); (9, 3); (8, 9) ];
+  g
+
+let lattice_footprints g =
+  ( Footprint.of_flow ~graph:g ~fid:0 ~demand:1 ~current:[ 0; 1 ]
+      ~target:[ 0; 8; 9; 1 ],
+    Footprint.of_flow ~graph:g ~fid:1 ~demand:1 ~current:[ 2; 3 ]
+      ~target:[ 2; 8; 9; 3 ] )
+
+let lattice_steady = Instance.background [ (1, [ 0; 1 ]); (1, [ 2; 3 ]) ]
+
+let test_footprint_link_overload () =
+  let g = detour_lattice 1 in
+  let a, b = lattice_footprints g in
+  (match
+     Footprint.conflict ~capacity:(Graph.capacity g) ~steady:lattice_steady a b
+   with
+  | Some (Footprint.Link_overload { u = 8; v = 9; combined = 2; capacity = 1 })
+    ->
+      ()
+  | other -> fail_conflict "overload of v8 -> v9 (worst-case 2 > cap 1)" other);
+  let g2 = detour_lattice 2 in
+  let a2, b2 = lattice_footprints g2 in
+  Alcotest.(check bool) "a shared link with headroom no longer serializes" true
+    (Footprint.conflict ~capacity:(Graph.capacity g2) ~steady:lattice_steady a2
+       b2
+    = None)
+
+(* The same pair through the live service (the SERVICE.md worked
+   example): both detours commit in the first batch with no
+   serialization even though their targets share the chord. *)
+let test_link_sharing_batchmates () =
+  let g = detour_lattice 2 in
+  let multi =
+    Instance.create_multi ~graph:g [ steady 0 [ 0; 1 ]; steady 1 [ 2; 3 ] ]
+  in
+  let svc = Svc.create multi in
+  ignore (submit_ok svc ~fid:0 ~target:[ 0; 8; 9; 1 ]);
+  ignore (submit_ok svc ~fid:1 ~target:[ 2; 8; 9; 3 ]);
+  let outcomes = Svc.process ~jobs:2 svc in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "committed" true (committed o);
+      Alcotest.(check int) "first batch" 1 o.Svc.batch;
+      Alcotest.(check (list int)) "no serialization" [] o.Svc.serialized_after)
+    outcomes;
+  Alcotest.(check (list (pair int (list int)))) "both rerouted"
+    [ (0, [ 0; 8; 9; 1 ]); (1, [ 2; 8; 9; 3 ]) ]
+    (Svc.routes svc)
+
+(* Footprints are derived once at submit and reused by every admission
+   pass that still sees the flow on the path the footprint was computed
+   from: two passes over the conflicting pair plus the loser's second
+   batch make three reuses (flow 1 itself never moved). *)
+let test_footprint_reuse_counter () =
+  let svc = Svc.create (shared_diamond_multi ()) in
+  ignore (submit_ok svc ~fid:0 ~target:(via2 0));
+  ignore (submit_ok svc ~fid:1 ~target:(via1 0));
+  let c = Obs.Counter.v "service.footprint_reuse" in
+  let before = Obs.Counter.value c in
+  ignore (Svc.process ~jobs:1 svc);
+  Alcotest.(check int) "submit-time footprints reused" 3
+    (Obs.Counter.value c - before)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness of the admission model, in two QCheck halves.
+
+   Half 1: the footprint's per-link worst-case number really bounds the
+   transient load the flow can place there under ANY loop-free schedule
+   — checked by re-running the schedule on a graph whose capacities ARE
+   the bounds and asking the oracle for congestion.
+
+   Half 2: pairs the service actually ran concurrently pass a joint
+   full-capacity oracle gate — each member's committed schedule stays
+   consistent with the other member charged at its worst-case bound on
+   every link the budget accounted for both, and at its steady share
+   elsewhere (where the solver's own gate already covered it). Together
+   the halves say no admitted batch can congest a link, whatever the
+   interleaving. *)
+
+let fp_entry fp u v =
+  List.find_opt
+    (fun e -> e.Footprint.e_u = u && e.Footprint.e_v = v)
+    fp.Footprint.links
+
+let fp_worst fp u v =
+  match fp_entry fp u v with Some e -> e.Footprint.e_worst | None -> 0
+
+let fp_steady fp u v =
+  match fp_entry fp u v with Some e -> e.Footprint.e_steady | None -> 0
+
+let fp_margin fp u v = fp_worst fp u v - fp_steady fp u v
+
+(* The instance's single flow on a graph whose union-link capacities are
+   chosen by [cap_of] (delays preserved — cohort routing is untouched). *)
+let recapacitated inst cap_of =
+  let g = inst.Instance.graph in
+  let union =
+    List.sort_uniq compare
+      (Path.edges inst.Instance.p_init @ Path.edges inst.Instance.p_fin)
+  in
+  let g' = Graph.create () in
+  List.iter
+    (fun (u, v) ->
+      Graph.add_edge ~capacity:(cap_of u v) ~delay:(Graph.delay g u v) g' u v)
+    union;
+  Instance.create ~graph:g' ~demand:inst.Instance.demand
+    ~p_init:inst.Instance.p_init ~p_fin:inst.Instance.p_fin
+
+let prop_worst_bound_sound =
+  QCheck.Test.make ~count:80
+    ~name:"footprint worst case bounds any loop-free schedule's load"
+    QCheck.(make Gen.(0 -- 10_000))
+    (fun seed ->
+      let inst = Helpers.instance_of_seed seed in
+      let rng = Rng.derive seed [ 41 ] in
+      let sched =
+        Schedule.of_list
+          (List.map
+             (fun v -> (v, Rng.in_range rng 0 5))
+             (Instance.switches_to_update inst))
+      in
+      let fp =
+        Footprint.of_flow ~graph:inst.Instance.graph ~fid:0
+          ~demand:inst.Instance.demand ~current:inst.Instance.p_init
+          ~target:inst.Instance.p_fin
+      in
+      let roomy = recapacitated inst (fun _ _ -> 1_000_000) in
+      if not (Oracle.evaluate roomy sched).Oracle.ok then
+        (* the random schedule loops or blackholes: the bound only
+           claims to cover consistent cohort behaviour *)
+        true
+      else
+        let bounded = recapacitated inst (fp_worst fp) in
+        (Oracle.evaluate bounded sched).Oracle.ok)
+
+(* A small shared WAN carrying unit-demand flows on min-hop routes, and
+   the same failed-link detour requests fig-service submits. *)
+let wan_workload seed =
+  let rng = Rng.derive seed [ 43 ] in
+  let g =
+    Topology.wan ~params:{ Topology.capacity = 2; delay = 1 } ~rng 10
+  in
+  let nodes = Array.of_list (Graph.nodes g) in
+  let loads = Hashtbl.create 32 in
+  let load u v = Option.value ~default:0 (Hashtbl.find_opt loads (u, v)) in
+  let rec draw fid acc misses =
+    if fid >= 5 || misses > 100 then List.rev acc
+    else
+      let src = nodes.(Rng.int rng (Array.length nodes)) in
+      let dst = nodes.(Rng.int rng (Array.length nodes)) in
+      match if src = dst then None else Shortest.hop_path g src dst with
+      | Some p
+        when List.for_all
+               (fun (u, v) -> load u v + 1 <= Graph.capacity g u v)
+               (Path.edges p) ->
+          List.iter
+            (fun (u, v) -> Hashtbl.replace loads (u, v) (load u v + 1))
+            (Path.edges p);
+          draw (fid + 1) (steady fid p :: acc) misses
+      | Some _ | None -> draw fid acc (misses + 1)
+  in
+  (g, draw 0 [] 0)
+
+let detour_request ~rng g current =
+  match Path.edges current with
+  | [] -> current
+  | edges -> (
+      let u, v = Rng.pick rng edges in
+      let g' = Graph.copy g in
+      Graph.remove_edge g' u v;
+      match
+        Shortest.hop_path g' (Path.source current) (Path.destination current)
+      with
+      | Some p -> p
+      | None -> current)
+
+(* The joint gate for batchmates A and B over the routes in force when
+   their batch solved. *)
+let joint_gate g ~routes a_fid a_target a_sched b_fid b_target =
+  let current fid = List.assoc fid routes in
+  let fp_of fid target =
+    Footprint.of_flow ~graph:g ~fid ~demand:1 ~current:(current fid) ~target
+  in
+  let fpa = fp_of a_fid a_target and fpb = fp_of b_fid b_target in
+  let bg_others =
+    Instance.background
+      (List.filter_map
+         (fun (fid, p) ->
+           if fid = a_fid || fid = b_fid then None else Some (1, p))
+         routes)
+  in
+  let background u v =
+    bg_others u v
+    +
+    if fp_margin fpa u v > 0 && fp_margin fpb u v > 0 then fp_worst fpb u v
+    else fp_steady fpb u v
+  in
+  match
+    Instance.create ~graph:g ~demand:1 ~p_init:(current a_fid) ~p_fin:a_target
+  with
+  | exception Instance.Ill_formed _ -> false
+  | inst -> (Oracle.evaluate ~background inst a_sched).Oracle.ok
+
+let prop_admitted_pairs_jointly_safe =
+  QCheck.Test.make ~count:25
+    ~name:"concurrently admitted pairs pass the joint oracle gate"
+    QCheck.(make Gen.(0 -- 1_000))
+    (fun seed ->
+      let g, flows = wan_workload seed in
+      if List.length flows < 2 then true
+      else begin
+        let multi = Instance.create_multi ~graph:g flows in
+        let svc = Svc.create multi in
+        let rng = Rng.derive seed [ 47 ] in
+        let n = List.length flows in
+        for _k = 1 to 8 do
+          let fid = Rng.int rng n in
+          let current = Option.get (Svc.current_path svc fid) in
+          let target = detour_request ~rng g current in
+          ignore (Svc.submit svc ~fid ~target)
+        done;
+        let outcomes = Svc.process ~jobs:2 svc in
+        let commits =
+          List.filter_map
+            (fun o ->
+              match o.Svc.verdict with
+              | Svc.Committed { schedule; _ } ->
+                  Some (o.Svc.batch, (o.Svc.fid, o.Svc.target, schedule))
+              | Svc.Denied _ -> None)
+            outcomes
+        in
+        let routes = Hashtbl.create 8 in
+        List.iter
+          (fun f -> Hashtbl.replace routes f.Instance.fid f.Instance.f_init)
+          flows;
+        let batches = List.sort_uniq Int.compare (List.map fst commits) in
+        let pairs_ok =
+          List.for_all
+            (fun b ->
+              let members =
+                List.filter_map
+                  (fun (b', m) -> if b' = b then Some m else None)
+                  commits
+              in
+              let pre =
+                Hashtbl.fold (fun fid p acc -> (fid, p) :: acc) routes []
+              in
+              let ok =
+                List.for_all
+                  (fun (afid, atgt, asched) ->
+                    Schedule.is_empty asched
+                    || List.for_all
+                         (fun (bfid, btgt, _) ->
+                           bfid = afid
+                           || joint_gate g ~routes:pre afid atgt asched bfid
+                                btgt)
+                         members)
+                  members
+              in
+              List.iter
+                (fun (fid, target, _) -> Hashtbl.replace routes fid target)
+                members;
+              ok)
+            batches
+        in
+        let final = Svc.routes svc in
+        let bg_all =
+          Instance.background (List.map (fun (_, p) -> (1, p)) final)
+        in
+        let final_ok =
+          List.for_all
+            (fun (_, p) ->
+              List.for_all
+                (fun (u, v) -> bg_all u v <= Graph.capacity g u v)
+                (Path.edges p))
+            final
+        in
+        pairs_ok && final_ok
+      end)
+
+(* Monotonicity against the old model: a pair the path-granular relation
+   already ran concurrently (no shared directed link, distinct
+   destinations, distinct flows) is always admitted by the rule-granular
+   budget too. *)
+let prop_path_disjoint_always_admitted =
+  QCheck.Test.make ~count:40
+    ~name:"rule-granular admission subsumes path-granular disjointness"
+    QCheck.(make Gen.(0 -- 1_000))
+    (fun seed ->
+      let g, flows = wan_workload seed in
+      match flows with
+      | fa :: fb :: _ ->
+          let rng = Rng.derive seed [ 53 ] in
+          let pa = fa.Instance.f_init and pb = fb.Instance.f_init in
+          let ta = detour_request ~rng g pa
+          and tb = detour_request ~rng g pb in
+          let la = Path.edges pa @ Path.edges ta
+          and lb = Path.edges pb @ Path.edges tb in
+          let disjoint =
+            List.for_all (fun e -> not (List.mem e lb)) la
+            && Path.destination pa <> Path.destination pb
+          in
+          if not disjoint then true
+          else
+            let fp f current target =
+              Footprint.of_flow ~graph:g ~fid:f.Instance.fid ~demand:1
+                ~current ~target
+            in
+            Footprint.conflict
+              ~capacity:(Graph.capacity g)
+              ~steady:
+                (Instance.background
+                   (List.map (fun f -> (1, f.Instance.f_init)) flows))
+              (fp fa pa ta) (fp fb pb tb)
+            = None
+      | _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Commutativity: disjoint-footprint transactions yield the same final
@@ -326,6 +670,8 @@ let test_golden_replay () =
 (* The service figure: deterministic columns independent of the job
    count, and the books balancing. *)
 
+(* Everything except the wall-clock columns and [full_evals] (which
+   counts checker-pool misses and so depends on pool timing). *)
 let deterministic (r : E.Fig_service.row) =
   ( r.E.Fig_service.offered_per_round,
     r.E.Fig_service.rounds,
@@ -333,6 +679,7 @@ let deterministic (r : E.Fig_service.row) =
     r.E.Fig_service.submitted,
     r.E.Fig_service.committed,
     r.E.Fig_service.serialized,
+    r.E.Fig_service.serialized_rate,
     r.E.Fig_service.denied,
     r.E.Fig_service.batches,
     r.E.Fig_service.mean_makespan )
@@ -356,6 +703,16 @@ let suite =
     [
       Alcotest.test_case "footprint conflict rules" `Quick
         test_footprint_conflicts;
+      Alcotest.test_case "link overload is capacity-aware" `Quick
+        test_footprint_link_overload;
+      Alcotest.test_case "link-sharing pair shares a batch" `Quick
+        test_link_sharing_batchmates;
+      Alcotest.test_case "submit-time footprints are reused" `Quick
+        test_footprint_reuse_counter;
+      QCheck_alcotest.to_alcotest ~long:false prop_worst_bound_sound;
+      QCheck_alcotest.to_alcotest ~long:false prop_admitted_pairs_jointly_safe;
+      QCheck_alcotest.to_alcotest ~long:false
+        prop_path_disjoint_always_admitted;
       QCheck_alcotest.to_alcotest ~long:false prop_disjoint_commute;
       QCheck_alcotest.to_alcotest ~long:false prop_conflict_serializes;
       Alcotest.test_case "deny policy names the winner" `Quick
