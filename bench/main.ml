@@ -32,24 +32,35 @@ open Chronus_topo
 (* ------------------------------------------------------------------ *)
 (* Part 1: the experiment suite.                                       *)
 
+(* Every figure is optional so `--figures <list>` can run a subset: a
+   field is [None] exactly when the filter excluded that figure, which
+   keeps the sequential/parallel digest comparison meaningful (both
+   passes run the same subset). *)
 type suite = {
-  table2 : E.Table2.result;
-  fig6 : E.Fig6.result;
-  fig7 : E.Fig7.row list;
-  fig8 : E.Fig8.row list;
-  fig9 : E.Fig9.row list;
-  fig10 : E.Fig10.row list;
-  fig_scale : E.Fig_scale.row list;
-  fig_service : E.Fig_service.row list;
-  fig11 : E.Fig11.result;
-  robust : E.Fig_robust.row list;
-  ablation : E.Ablation.row list;
+  table2 : E.Table2.result option;
+  fig6 : E.Fig6.result option;
+  fig7 : E.Fig7.row list option;
+  fig8 : E.Fig8.row list option;
+  fig9 : E.Fig9.row list option;
+  fig10 : E.Fig10.row list option;
+  fig_scale : E.Fig_scale.row list option;
+  fig_service : E.Fig_service.row list option;
+  fig11 : E.Fig11.result option;
+  robust : E.Fig_robust.row list option;
+  ablation : E.Ablation.row list option;
   wall_s : float;  (** full part-1 wall clock *)
   trial_wall_s : float;  (** the trial-parallel experiments only *)
   metrics : (string * Obs.snapshot) list;
       (** per-figure observability deltas, in run order; excluded from
           the determinism digest (metrics observe, never decide) *)
 }
+
+let figure_names =
+  [
+    E.Table2.name; E.Fig6.name; E.Fig7.name; E.Fig8.name; E.Fig9.name;
+    E.Fig10.name; E.Fig_scale.name; E.Fig_service.name; E.Fig11.name;
+    E.Fig_robust.name; E.Ablation.name;
+  ]
 
 (* Everything except the measured timings of Fig. 10, the scale figure
    and the service figure is a pure function of (scale, seed), so the
@@ -61,16 +72,20 @@ let digest s =
        (s.table2, s.fig6, s.fig7, s.fig8, s.fig9, s.fig11, s.robust, s.ablation)
        [])
 
-let run_suite ~jobs scale =
+let run_suite ~jobs ~want scale =
   let now () = Unix.gettimeofday () in
   let figure_metrics = ref [] in
   (* Counters are cumulative across the whole process; per-figure views
      are snapshot deltas taken around each figure's run. *)
   let measured name f =
-    let before = Obs.snapshot () in
-    let r = f () in
-    figure_metrics := (name, Obs.diff before (Obs.snapshot ())) :: !figure_metrics;
-    r
+    if not (want name) then None
+    else begin
+      let before = Obs.snapshot () in
+      let r = f () in
+      figure_metrics :=
+        (name, Obs.diff before (Obs.snapshot ())) :: !figure_metrics;
+      Some r
+    end
   in
   let t0 = now () in
   let table2 = measured E.Table2.name (fun () -> E.Table2.run ~jobs ()) in
@@ -125,9 +140,12 @@ let print_suite ?(metrics = false) s =
           Obs.print_table snap
   in
   let figure name print v =
-    banner name;
-    print v;
-    print_metrics name
+    match v with
+    | None -> ()
+    | Some v ->
+        banner name;
+        print v;
+        print_metrics name
   in
   figure E.Table2.name E.Table2.print s.table2;
   figure E.Fig6.name E.Fig6.print s.fig6;
@@ -289,6 +307,43 @@ let flow_table_tests =
            ignore (FT.modify_actions t ~dst:(next ()) ~tag_match:FT.Any_tag act)));
   ]
 
+(* The prefix layer at the same load: 1000 aggregated rules in the
+   longest-prefix trie, probed with random full-width addresses; plus
+   one ORTC compilation of a 256-address fat-tree-shaped forwarding
+   function (8 distinct next hops, 32 addresses each). *)
+let prefix_table_tests =
+  let module FT = Chronus_sim.Flow_table in
+  let module TC = Chronus_sim.Table_compiler in
+  let act v = { FT.set_tag = None; forward = FT.Out v } in
+  let rng = Rng.make 80 in
+  let space = 1 lsl FT.addr_bits in
+  let p = FT.create () in
+  for _ = 1 to 1000 do
+    ignore
+      (FT.install_prefix p
+         ~priority:(Rng.int rng 8)
+         ~prefix:(Rng.int rng space)
+         ~len:(4 + Rng.int rng (FT.addr_bits - 4))
+         ~tag_match:FT.Any_tag
+         (act (Rng.int rng 16)))
+  done;
+  let probes = Array.init 1024 (fun _ -> Rng.int rng space) in
+  let cursor = ref 0 in
+  let next () =
+    let d = probes.(!cursor land 1023) in
+    incr cursor;
+    d
+  in
+  let bindings =
+    List.init 256 (fun i -> ((space / 2) lor i, act (i / 32)))
+  in
+  [
+    Test.make ~name:"flow-table/prefix-lookup/1000"
+      (Staged.stage (fun () -> ignore (FT.lookup p ~dst:(next ()) ~tag:None)));
+    Test.make ~name:"table-compiler/compile/256"
+      (Staged.stage (fun () -> ignore (TC.compile bindings)));
+  ]
+
 (* Steady-state hold model (push one, dispatch one) on a queue holding
    1000 pending events with microsecond-spread timestamps — the
    calendar ring against the seed binary heap it replaced. *)
@@ -436,7 +491,7 @@ let benchmarks () =
     Test.make_grouped ~name:"chronus"
       (greedy_tests @ greedy_exact_tests @ primitive_tests
       @ oracle_incremental_tests @ service_tests @ flow_table_tests
-      @ event_queue_tests @ baseline_tests)
+      @ prefix_table_tests @ event_queue_tests @ baseline_tests)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
@@ -610,25 +665,70 @@ let faults_json () =
    columns vary run to run; they are reported here but never enter the
    determinism digest. *)
 let scale_json suite =
-  Json.Obj
-    (List.map
-       (fun (r : E.Fig_scale.row) ->
-         ( r.E.Fig_scale.topo,
-           Json.Obj
-             [
-               ("switches", Json.Int r.E.Fig_scale.switches);
-               ("links", Json.Int r.E.Fig_scale.links);
-               ("rules", Json.Int r.E.Fig_scale.rules);
-               ("updates", Json.Int r.E.Fig_scale.updates);
-               ("events", Json.Int r.E.Fig_scale.events);
-               ("chronus_span_s", Json.Float r.E.Fig_scale.chronus_span_s);
-               ("tp_span_s", Json.Float r.E.Fig_scale.tp_span_s);
-               ("or_span_s", Json.Float r.E.Fig_scale.or_span_s);
-               ("chronus_clean", Json.Bool r.E.Fig_scale.chronus_clean);
-               ("events_per_s", Json.Float r.E.Fig_scale.events_per_s);
-               ("lookup_ns", Json.Float r.E.Fig_scale.lookup_ns);
-             ] ))
-       suite.fig_scale)
+  match suite.fig_scale with
+  | None -> Json.Null
+  | Some rows ->
+      Json.Obj
+        (List.map
+           (fun (r : E.Fig_scale.row) ->
+             ( r.E.Fig_scale.topo,
+               Json.Obj
+                 [
+                   ("switches", Json.Int r.E.Fig_scale.switches);
+                   ("links", Json.Int r.E.Fig_scale.links);
+                   ("rules_exact", Json.Int r.E.Fig_scale.rules_exact);
+                   ("rules_compiled", Json.Int r.E.Fig_scale.rules_compiled);
+                   ("compression", Json.Float r.E.Fig_scale.compression);
+                   ("table_words", Json.Int r.E.Fig_scale.table_words);
+                   ("updates", Json.Int r.E.Fig_scale.updates);
+                   ("events", Json.Int r.E.Fig_scale.events);
+                   ("chronus_span_s", Json.Float r.E.Fig_scale.chronus_span_s);
+                   ("tp_span_s", Json.Float r.E.Fig_scale.tp_span_s);
+                   ("or_span_s", Json.Float r.E.Fig_scale.or_span_s);
+                   ("chronus_clean", Json.Bool r.E.Fig_scale.chronus_clean);
+                   ("events_per_s", Json.Float r.E.Fig_scale.events_per_s);
+                   ("lookup_ns", Json.Float r.E.Fig_scale.lookup_ns);
+                 ] ))
+           rows)
+
+(* chronus-bench/8: the prefix-compilation headline — address width and
+   per-fat-tree-cell compression, including the floor CI asserts. *)
+let prefix_json suite =
+  match suite.fig_scale with
+  | None -> Json.Null
+  | Some rows ->
+      let fat_tree =
+        List.filter
+          (fun (r : E.Fig_scale.row) ->
+            String.length r.E.Fig_scale.topo >= 8
+            && String.sub r.E.Fig_scale.topo 0 8 = "fat-tree")
+          rows
+      in
+      let min_compression =
+        List.fold_left
+          (fun acc (r : E.Fig_scale.row) ->
+            min acc r.E.Fig_scale.compression)
+          infinity fat_tree
+      in
+      Json.Obj
+        [
+          ("addr_bits", Json.Int Chronus_sim.Flow_table.addr_bits);
+          ( "cells",
+            Json.Obj
+              (List.map
+                 (fun (r : E.Fig_scale.row) ->
+                   ( r.E.Fig_scale.topo,
+                     Json.Obj
+                       [
+                         ("rules_exact", Json.Int r.E.Fig_scale.rules_exact);
+                         ( "rules_compiled",
+                           Json.Int r.E.Fig_scale.rules_compiled );
+                         ("compression", Json.Float r.E.Fig_scale.compression);
+                       ] ))
+                 fat_tree) );
+          ( "min_fat_tree_compression",
+            if fat_tree = [] then Json.Null else Json.Float min_compression );
+        ]
 
 (* chronus-bench/7: the update-service figure, one entry per offered
    rate — deterministic admission/commit columns, derived denial and
@@ -639,6 +739,9 @@ let scale_json suite =
    scale rows, the wall columns never enter the determinism digest;
    neither does full_evals, which depends on pool timing. *)
 let service_json suite =
+  match suite.fig_service with
+  | None -> Json.Null
+  | Some rows ->
   Json.Obj
     (List.map
        (fun (r : E.Fig_service.row) ->
@@ -670,9 +773,9 @@ let service_json suite =
                ("p50_ms", Json.Float r.E.Fig_service.p50_ms);
                ("p99_ms", Json.Float r.E.Fig_service.p99_ms);
              ] ))
-       suite.fig_service)
+       rows)
 
-let write_json ~path ~scale_name ~jobs ~experiments ~micro =
+let write_json ~path ~scale_name ~jobs ~host_cores ~experiments ~micro =
   let experiments_json =
     match experiments with
     | None -> Json.Null
@@ -707,14 +810,19 @@ let write_json ~path ~scale_name ~jobs ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/7");
+        ("schema", Json.String "chronus-bench/8");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
+        ("host_cores", Json.Int host_cores);
         ("experiments", experiments_json);
         ( "scale_rows",
           match experiments with
           | None -> Json.Null
           | Some (seq, _) -> scale_json seq );
+        ( "prefix",
+          match experiments with
+          | None -> Json.Null
+          | Some (seq, _) -> prefix_json seq );
         ( "service",
           match experiments with
           | None -> Json.Null
@@ -752,12 +860,57 @@ let () =
     Array.exists (( = ) "--metrics") Sys.argv
     || Sys.getenv_opt "CHRONUS_METRICS" <> None
   in
+  (* --figures a,b,c (or --figures=a,b,c): run only those figures of the
+     experiment suite — the dev loop for a single figure without the
+     ~190 s full pass. *)
+  let figures_filter =
+    let args = Array.to_list Sys.argv in
+    let value =
+      let prefix = "--figures=" in
+      let rec scan = function
+        | [] -> None
+        | "--figures" :: v :: _ -> Some v
+        | a :: rest ->
+            if String.length a > String.length prefix
+               && String.sub a 0 (String.length prefix) = prefix
+            then
+              Some
+                (String.sub a (String.length prefix)
+                   (String.length a - String.length prefix))
+            else scan rest
+      in
+      scan args
+    in
+    match value with
+    | None -> None
+    | Some v ->
+        let names =
+          String.split_on_char ',' v
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        List.iter
+          (fun n ->
+            if not (List.mem n figure_names) then begin
+              Printf.eprintf "unknown figure %S; valid figures:\n  %s\n%!" n
+                (String.concat "\n  " figure_names);
+              exit 2
+            end)
+          names;
+        Some names
+  in
+  let want name =
+    match figures_filter with None -> true | Some l -> List.mem name l
+  in
+  let host_cores = Domain.recommended_domain_count () in
   let experiments =
     match part with
     | `Micro -> None
     | `All | `Experiments ->
-        let seq = run_suite ~jobs:1 scale in
-        let par = if jobs > 1 then Some (run_suite ~jobs scale) else None in
+        let seq = run_suite ~jobs:1 ~want scale in
+        let par =
+          if jobs > 1 then Some (run_suite ~jobs ~want scale) else None
+        in
         (* The two passes print identical rows; show the suite once. *)
         print_suite ~metrics (Option.value ~default:seq par);
         Printf.printf "\nexperiment suite wall clock: %.2f s at jobs=1"
@@ -774,6 +927,10 @@ let () =
               exit 1
             end
             else print_endline "sequential and parallel rows are identical");
+        if host_cores = 1 && par <> None then
+          print_endline
+            "note: speedup not meaningful: 1 physical core (jobs > 1 \
+             time-slices one core)";
         Some (seq, par)
   in
   let micro =
@@ -783,5 +940,5 @@ let () =
     Option.value ~default:"BENCH_results.json"
       (Sys.getenv_opt "CHRONUS_BENCH_OUT")
   in
-  write_json ~path ~scale_name ~jobs ~experiments ~micro;
+  write_json ~path ~scale_name ~jobs ~host_cores ~experiments ~micro;
   print_newline ()

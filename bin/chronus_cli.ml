@@ -111,9 +111,36 @@ let experiment_cmd =
       & opt (some (list int)) None
       & info [ "rates" ] ~docv:"RATES" ~doc)
   in
-  let run which scale_name jobs metrics rates =
+  let topos_arg =
+    let doc =
+      "Topology cells for the $(b,scale) experiment, e.g. \
+       $(b,--topos fat16,b4,wan32) ($(b,fatK) is a k-ary fat-tree, \
+       $(b,wanN) an N-site WAN). Default: the scale's cell list."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "topos" ] ~docv:"TOPOS" ~doc)
+  in
+  let parse_topo s =
+    let num prefix =
+      let p = String.length prefix in
+      if String.length s > p && String.sub s 0 p = prefix then
+        int_of_string_opt (String.sub s p (String.length s - p))
+      else None
+    in
+    match (s, num "fat", num "wan") with
+    | "b4", _, _ -> E.Fig_scale.B4
+    | _, Some k, _ -> E.Fig_scale.Fat_tree k
+    | _, _, Some n -> E.Fig_scale.Wan n
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "unknown topology %S (expected fatK, b4 or wanN)" s)
+  in
+  let run which scale_name jobs metrics rates topos =
     let module Obs = Chronus_obs.Obs in
     let scale = E.Scale.parse scale_name in
+    let kinds = Option.map (List.map parse_topo) topos in
     let jobs =
       match jobs with
       | Some j -> j
@@ -128,7 +155,7 @@ let experiment_cmd =
       | "fig10" -> E.Fig10.print (E.Fig10.run ~jobs ~scale ())
       | "fig11" -> E.Fig11.print (E.Fig11.run ~jobs ~scale ())
       | "robust" -> E.Fig_robust.print (E.Fig_robust.run ~jobs ~scale ())
-      | "scale" -> E.Fig_scale.print (E.Fig_scale.run ~jobs ~scale ())
+      | "scale" -> E.Fig_scale.print (E.Fig_scale.run ~jobs ~scale ?kinds ())
       | "service" ->
           E.Fig_service.print (E.Fig_service.run ~jobs ~scale ?rates ())
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
@@ -163,7 +190,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure of the paper's evaluation.")
-    Term.(const run $ which $ scale_arg $ jobs_arg $ metrics_arg $ rates_arg)
+    Term.(
+      const run $ which $ scale_arg $ jobs_arg $ metrics_arg $ rates_arg
+      $ topos_arg)
 
 (* chronus demo *)
 let demo_cmd =

@@ -73,7 +73,11 @@ let build ?(config = default) ?(seed = 1) ?(faults = Faults.zero) ~tag_initial
       | Controller.Modify { dst; tag_match; action } ->
           ignore (Flow_table.modify_actions table ~dst ~tag_match action)
       | Controller.Remove { dst; tag_match } ->
-          ignore (Flow_table.remove table ~dst ~tag_match))
+          ignore (Flow_table.remove table ~dst ~tag_match)
+      | Controller.Install_prefix { priority; prefix; len; tag_match; action } ->
+          ignore
+            (Flow_table.install_prefix table ~priority ~prefix ~len ~tag_match
+               action))
     config.preinstall;
   let dst = Instance.destination inst in
   let src = Instance.source inst in

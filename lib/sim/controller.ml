@@ -11,6 +11,13 @@ type flow_mod =
       action : Flow_table.action;
     }
   | Remove of { dst : int; tag_match : Flow_table.tag_match }
+  | Install_prefix of {
+      priority : int;
+      prefix : int;
+      len : int;
+      tag_match : Flow_table.tag_match;
+      action : Flow_table.action;
+    }
 
 type t = {
   net : Network.t;
@@ -39,7 +46,9 @@ let apply t ~switch mod_ =
   | Modify { dst; tag_match; action } ->
       ignore (Flow_table.modify_actions table ~dst ~tag_match action)
   | Remove { dst; tag_match } ->
-      ignore (Flow_table.remove table ~dst ~tag_match));
+      ignore (Flow_table.remove table ~dst ~tag_match)
+  | Install_prefix { priority; prefix; len; tag_match; action } ->
+      ignore (Flow_table.install_prefix table ~priority ~prefix ~len ~tag_match action));
   t.peak_rules <- max t.peak_rules (Network.total_rules t.net)
 
 let record_outstanding t switch time =

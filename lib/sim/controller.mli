@@ -22,6 +22,16 @@ type flow_mod =
       action : Flow_table.action;
     }
   | Remove of { dst : int; tag_match : Flow_table.tag_match }
+  | Install_prefix of {
+      priority : int;
+      prefix : int;
+      len : int;
+      tag_match : Flow_table.tag_match;
+      action : Flow_table.action;
+    }
+      (** An aggregated base-forwarding rule — the output of
+          [Table_compiler], installed by [Exec_env] preinstall. Update
+          commands stay exact-match, so they always shadow these. *)
 
 val create :
   ?latency:(switch:int -> Sim_time.t) -> Network.t -> t

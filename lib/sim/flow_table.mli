@@ -1,16 +1,21 @@
 (** OpenFlow-style match/action flow tables, reduced to what the paper's
-    experiments use: exact destination match with an optional VLAN-tag
-    match (Table II). Highest priority wins; ties break towards the
-    oldest rule, as OpenFlow leaves this unspecified and determinism
+    experiments use: destination match (exact or longest-prefix) with an
+    optional VLAN-tag match (Table II). Longest prefix wins first; among
+    rules of equal length, highest priority wins and ties break towards
+    the oldest rule, as OpenFlow leaves this unspecified and determinism
     matters for tests.
 
-    The table is indexed in the spirit of compiled flow tables: a
-    hashtable keyed by [dst] holds small priority-sorted buckets, so
-    [lookup], [modify_actions] and [remove] are O(1) amortized in the
-    number of destinations. Buckets are persistent lists, which makes
-    {!snapshot}/{!restore} an O(buckets) hashtable copy with full
-    structural sharing — cheap enough for the crash-restart model of
-    [Chronus_faults] even at 10k rules per network. *)
+    Exact rules live in a hashtable keyed by [dst] holding small
+    priority-sorted buckets, so [lookup], [modify_actions] and [remove]
+    are O(1) amortized in the number of destinations. Aggregated prefix
+    rules — the output of {!Table_compiler} — live in a path-compressed
+    binary trie walked only when the exact bucket misses; an exact rule
+    is a full-width prefix, so this order {e is} longest-prefix match
+    and update rules always shadow the compiled base. Buckets and trie
+    are persistent, which makes {!snapshot}/{!restore} an O(buckets)
+    hashtable copy with full structural sharing — cheap enough for the
+    crash-restart model of [Chronus_faults] even at 10k rules per
+    network. *)
 
 type tag_match =
   | Any_tag
@@ -26,10 +31,16 @@ type action = {
   forward : forward;
 }
 
+val addr_bits : int
+(** Width of the destination address space: every [dst] is interpreted
+    as a bitstring this wide. [Chronus_topo.Addressing] lays out its
+    hierarchical host addresses inside the same width. *)
+
 type rule = {
   id : int;  (** unique per table, install order *)
   priority : int;
-  dst : int;  (** destination switch (stands in for the dst IP prefix) *)
+  dst : int;  (** destination address, normalised to [len] leading bits *)
+  len : int;  (** prefix length; [addr_bits] for an exact rule *)
   tag_match : tag_match;
   action : action;
 }
@@ -39,17 +50,30 @@ type t
 val create : unit -> t
 
 val install : t -> priority:int -> dst:int -> tag_match:tag_match -> action -> rule
-(** Add a rule; returns it (with its fresh id). *)
+(** Add an exact rule ([len = addr_bits]); returns it (with its fresh id). *)
+
+val install_prefix :
+  t -> priority:int -> prefix:int -> len:int -> tag_match:tag_match -> action -> rule
+(** Add a rule matching every destination whose top [len] bits equal
+    those of [prefix] (the low bits of [prefix] are ignored).
+    [len = addr_bits] is exactly {!install}. Raises [Invalid_argument]
+    when [len] is outside [0..addr_bits]. *)
 
 val modify_actions : t -> dst:int -> tag_match:tag_match -> action -> int
-(** Rewrite the action of every rule with exactly these match fields —
-    Chronus's in-place action update. Returns how many rules changed. *)
+(** Rewrite the action of every exact rule with exactly these match
+    fields — Chronus's in-place action update. Returns how many rules
+    changed. *)
 
 val remove : t -> dst:int -> tag_match:tag_match -> int
-(** Delete all rules with exactly these match fields; returns the count. *)
+(** Delete all exact rules with exactly these match fields; returns the
+    count. *)
+
+val remove_prefix : t -> prefix:int -> len:int -> tag_match:tag_match -> int
+(** Delete all rules at exactly this [(prefix, len, tag_match)];
+    returns the count. [len = addr_bits] is exactly {!remove}. *)
 
 type snapshot
-(** An immutable copy of a table's rule set. *)
+(** An immutable copy of a table's rule set (exact and prefix). *)
 
 val snapshot : t -> snapshot
 
@@ -58,32 +82,42 @@ val restore : t -> snapshot -> unit
     model of [Chronus_faults]: a rebooting switch comes back with the
     configuration it had persisted. The id counter is {e not} rewound, so
     rules installed after a restore remain younger than every snapshot
-    rule and tie-breaking stays deterministic. *)
+    rule and tie-breaking stays deterministic. The size observer is
+    called exactly once, with the signed net change (or not at all when
+    the sizes already agree). *)
 
 val lookup : t -> dst:int -> tag:int option -> rule option
-(** Best-match semantics: the rule matches when [dst] equals and the tag
-    constraint is satisfied ([Any_tag] always; [Tag v] only when the
-    packet carries tag [v]). *)
+(** Longest-prefix-match semantics: among rules whose prefix covers
+    [dst] and whose tag constraint is satisfied ([Any_tag] always;
+    [Tag v] only when the packet carries tag [v]), the longest prefix
+    wins; within a length, highest priority then oldest id. *)
 
 val size : t -> int
-(** O(1): the table maintains a running rule count. *)
+(** O(1): the table maintains a running rule count (exact + prefix). *)
+
+val prefix_size : t -> int
+(** How many of {!size}'s rules are aggregated prefix rules. *)
+
+val memory_words : t -> int
+(** Deterministic estimate of the table's live heap in machine words
+    (rules, buckets, trie nodes) — comparable across table shapes, used
+    by the scale figure to report table memory. *)
 
 val rules : t -> rule list
-(** Sorted by (priority desc, id asc). *)
+(** Sorted by (priority desc, id asc); includes prefix rules. *)
 
 val on_size_change : t -> (int -> unit) -> unit
 (** Register a single observer called with the signed rule-count delta
-    after every {!install}, {!remove} and {!restore} that changes the
-    table's size. [Chronus_sim.Network] uses this to keep a network-wide
-    rule total without rescanning every switch. *)
+    after every {!install}, {!install_prefix}, {!remove},
+    {!remove_prefix} and {!restore} that changes the table's size.
+    [Chronus_sim.Network] uses this to keep a network-wide rule total
+    without rescanning every switch. *)
 
 val pp : Format.formatter -> t -> unit
 
-(** The seed list-based implementation, retained as the reference model
-    for differential tests and as the microbenchmark baseline. Semantics
-    are identical to the indexed table (same tie-breaks, same monotone
-    ids); complexity is O(rules) per operation. *)
-module Legacy : sig
+(** The operations shared by all three implementations — the seam the
+    differential suites test across. *)
+module type S = sig
   type t
 
   val create : unit -> t
@@ -99,3 +133,18 @@ module Legacy : sig
   val size : t -> int
   val rules : t -> rule list
 end
+
+(** The PR-5 dst-indexed exact-match table, retained behind the seam as
+    a differential baseline: identical semantics to the main table when
+    no prefix rules are installed. *)
+module Exact : sig
+  include S
+
+  val on_size_change : t -> (int -> unit) -> unit
+end
+
+(** The seed list-based implementation, retained as the reference model
+    for differential tests and as the microbenchmark baseline. Semantics
+    are identical to the indexed table (same tie-breaks, same monotone
+    ids); complexity is O(rules) per operation. *)
+module Legacy : S

@@ -1,0 +1,111 @@
+module Obs = Chronus_obs.Obs
+
+let c_compiles = Obs.Counter.v "sim.prefix_compiles"
+
+(* Compile a switch's complete dst -> action function into a minimal
+   aggregated prefix table, in the spirit of ORTC (Draves et al.) and
+   the frenetic NetKAT compiler: bottom-up candidate-action sets over a
+   binary trie of the address space, top-down emission only where the
+   inherited action stops being viable.
+
+   Addresses the caller never binds are don't-care: an emitted ancestor
+   rule may cover them with any action, which is what lets one rule per
+   pod replace thousands of per-host rules on a fat-tree core switch. *)
+
+type binding = { b_addr : int; b_action : Flow_table.action }
+
+(* Candidate sets are small sorted-unique lists; OCaml's structural
+   compare on [action] gives a deterministic order, so [List.hd] is the
+   canonical choice when a set must be narrowed to one action. *)
+let rec union a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c = 0 then x :: union xs ys
+      else if c < 0 then x :: union xs b
+      else y :: union a ys
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c = 0 then x :: inter xs ys
+      else if c < 0 then inter xs b
+      else inter a ys
+
+(* The bottom-up pass, fused with trie construction: [bindings] is
+   sorted by address, [depth] bits of every address agree with [pfx].
+   Returns the annotated tree, or [None] for a fully don't-care
+   subtree. *)
+type tree = {
+  t_set : Flow_table.action list;  (* candidate set, sorted unique *)
+  t_zero : tree option;
+  t_one : tree option;
+}
+
+let bit width addr i = (addr lsr (width - 1 - i)) land 1
+
+let rec build width depth bindings =
+  match bindings with
+  | [] -> None
+  | [ b ] when depth = width -> Some { t_set = [ b.b_action ]; t_zero = None; t_one = None }
+  | _ when depth = width ->
+      (* Duplicate addresses: the last binding wins, matching the
+         "complete forwarding function" reading of the input. *)
+      let last = List.nth bindings (List.length bindings - 1) in
+      Some { t_set = [ last.b_action ]; t_zero = None; t_one = None }
+  | _ ->
+      let zs, os = List.partition (fun b -> bit width b.b_addr depth = 0) bindings in
+      let z = build width (depth + 1) zs and o = build width (depth + 1) os in
+      let set =
+        match (z, o) with
+        | None, None -> assert false
+        | Some t, None | None, Some t -> t.t_set
+        | Some a, Some b -> (
+            match inter a.t_set b.t_set with [] -> union a.t_set b.t_set | i -> i)
+      in
+      Some { t_set = set; t_zero = z; t_one = o }
+
+let rec emit width depth pfx inherited tree acc =
+  match tree with
+  | None -> acc
+  | Some t ->
+      let covered =
+        match inherited with Some a -> List.mem a t.t_set | None -> false
+      in
+      let inherited, acc =
+        if covered then (inherited, acc)
+        else
+          let chosen = List.hd t.t_set in
+          (Some chosen, (pfx, depth, chosen) :: acc)
+      in
+      if depth = width then acc
+      else
+        let acc = emit width (depth + 1) pfx inherited t.t_zero acc in
+        emit width (depth + 1) (pfx lor (1 lsl (width - 1 - depth))) inherited t.t_one acc
+
+let compile ?(width = Flow_table.addr_bits) bindings =
+  if width < 1 || width > Flow_table.addr_bits then
+    invalid_arg
+      (Printf.sprintf "Table_compiler.compile: width %d outside [1, %d]" width
+         Flow_table.addr_bits);
+  match bindings with
+  | [] -> []
+  | _ ->
+      Obs.Counter.incr c_compiles;
+      let bindings =
+        List.stable_sort
+          (fun a b -> compare (fst a) (fst b))
+          bindings
+        |> List.map (fun (addr, action) ->
+               if addr < 0 || addr lsr width <> 0 then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Table_compiler.compile: address %d outside %d bits" addr
+                      width)
+               else { b_addr = addr; b_action = action })
+      in
+      let tree = build width 0 bindings in
+      List.rev (emit width 0 0 None tree [])

@@ -1,0 +1,25 @@
+(** Compile a switch's complete destination → action function into a
+    minimal aggregated prefix rule set, in the ORTC / frenetic
+    NetKAT-compiler spirit: a bottom-up pass annotates every trie node
+    with its candidate-action set (children's intersection when
+    nonempty, else their union; an absent subtree is don't-care), and a
+    top-down pass emits a rule only where the inherited action leaves
+    the node's set. The result, installed with
+    {!Flow_table.install_prefix} at a single priority, forwards every
+    bound address exactly as the input function does — one rule per pod
+    instead of one per host on a fat-tree core switch. *)
+
+val compile :
+  ?width:int ->
+  (int * Flow_table.action) list ->
+  (int * int * Flow_table.action) list
+(** [compile bindings] takes [(addr, action)] bindings — a switch's
+    forwarding function over the addresses that matter — and returns
+    [(prefix, len, action)] rules such that a longest-prefix-match
+    lookup of any bound address yields its bound action. Unbound
+    addresses may fall under an aggregated rule (they are don't-care).
+    Duplicate addresses resolve to the last binding. [width] defaults
+    to {!Flow_table.addr_bits}; raises [Invalid_argument] on addresses
+    outside the width. Output is deterministic: ties between equally
+    viable actions break by structural order. An empty input compiles
+    to the empty table. *)

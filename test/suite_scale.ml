@@ -65,8 +65,10 @@ let test_fat_tree_k8 () =
   match rows with
   | [ r ] ->
       Alcotest.(check int) "switches" 80 r.E.Fig_scale.switches;
-      Alcotest.(check bool) "at least 10k rules" true
-        (r.E.Fig_scale.rules >= 10_000);
+      Alcotest.(check bool) "at least 10k exact-equivalent rules" true
+        (r.E.Fig_scale.rules_exact >= 10_000);
+      Alcotest.(check bool) "compiled base is at least 4x smaller" true
+        (r.E.Fig_scale.compression >= 4.);
       Alcotest.(check bool) "update completed" true
         (r.E.Fig_scale.chronus_span_s > 0.);
       Alcotest.(check bool) "tp completed" true (r.E.Fig_scale.tp_span_s > 0.);
@@ -76,12 +78,35 @@ let test_fat_tree_k8 () =
   | rows ->
       Alcotest.failf "expected exactly one row, got %d" (List.length rows)
 
+(* The ISSUE-9 acceptance scenario: a k=32 fat-tree — 1,280 switches,
+   2.6M exact-equivalent rules — completes a clean timed update
+   end-to-end with the compiled base at >= 4x compression. *)
+let test_fat_tree_k32 () =
+  let rows =
+    E.Fig_scale.run ~jobs:1 ~scale:E.Scale.tiny
+      ~kinds:[ E.Fig_scale.Fat_tree 32 ] ()
+  in
+  match rows with
+  | [ r ] ->
+      Alcotest.(check int) "switches" 1280 r.E.Fig_scale.switches;
+      Alcotest.(check bool) "million-rule exact equivalent" true
+        (r.E.Fig_scale.rules_exact >= 1_000_000);
+      Alcotest.(check bool) "compiled base is at least 4x smaller" true
+        (r.E.Fig_scale.compression >= 4.);
+      Alcotest.(check bool) "update completed" true
+        (r.E.Fig_scale.chronus_span_s > 0.);
+      Alcotest.(check bool) "no violations" true r.E.Fig_scale.chronus_clean
+  | rows ->
+      Alcotest.failf "expected exactly one row, got %d" (List.length rows)
+
 (* Deterministic columns must not depend on the job count. *)
 let deterministic (r : E.Fig_scale.row) =
   ( r.E.Fig_scale.topo,
     r.E.Fig_scale.switches,
     r.E.Fig_scale.links,
-    r.E.Fig_scale.rules,
+    r.E.Fig_scale.rules_exact,
+    r.E.Fig_scale.rules_compiled,
+    r.E.Fig_scale.table_words,
     r.E.Fig_scale.updates,
     r.E.Fig_scale.events,
     r.E.Fig_scale.chronus_span_s,
@@ -136,6 +161,8 @@ let suite =
       Alcotest.test_case "golden fig_robust digest (seed-identical)" `Slow
         test_golden_fig_robust;
       Alcotest.test_case "fat-tree k=8 end-to-end" `Slow test_fat_tree_k8;
+      Alcotest.test_case "fat-tree k=32 end-to-end (1,280 switches)" `Slow
+        test_fat_tree_k32;
       Alcotest.test_case "rows independent of job count" `Slow test_jobs_parity;
       Alcotest.test_case "fat-tree reroute is link-disjoint" `Quick
         test_fat_tree_reroute_disjoint;
