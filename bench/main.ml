@@ -45,6 +45,7 @@ type suite = {
   fig10 : E.Fig10.row list option;
   fig_scale : E.Fig_scale.row list option;
   fig_service : E.Fig_service.row list option;
+  fig_conns : E.Fig_conns.row list option;
   fig11 : E.Fig11.result option;
   robust : E.Fig_robust.row list option;
   ablation : E.Ablation.row list option;
@@ -58,8 +59,8 @@ type suite = {
 let figure_names =
   [
     E.Table2.name; E.Fig6.name; E.Fig7.name; E.Fig8.name; E.Fig9.name;
-    E.Fig10.name; E.Fig_scale.name; E.Fig_service.name; E.Fig11.name;
-    E.Fig_robust.name; E.Ablation.name;
+    E.Fig10.name; E.Fig_scale.name; E.Fig_service.name; E.Fig_conns.name;
+    E.Fig11.name; E.Fig_robust.name; E.Ablation.name;
   ]
 
 (* Everything except the measured timings of Fig. 10, the scale figure
@@ -109,6 +110,9 @@ let run_suite ~jobs ~want scale =
   let fig_service =
     measured E.Fig_service.name (fun () -> E.Fig_service.run ~jobs ~scale ())
   in
+  let fig_conns =
+    measured E.Fig_conns.name (fun () -> E.Fig_conns.run ~jobs ~scale ())
+  in
   let t3 = now () in
   {
     table2;
@@ -119,6 +123,7 @@ let run_suite ~jobs ~want scale =
     fig10;
     fig_scale;
     fig_service;
+    fig_conns;
     fig11;
     robust;
     ablation;
@@ -155,6 +160,7 @@ let print_suite ?(metrics = false) s =
   figure E.Fig10.name E.Fig10.print s.fig10;
   figure E.Fig_scale.name E.Fig_scale.print s.fig_scale;
   figure E.Fig_service.name E.Fig_service.print s.fig_service;
+  figure E.Fig_conns.name E.Fig_conns.print s.fig_conns;
   figure E.Fig11.name E.Fig11.print s.fig11;
   figure E.Fig_robust.name E.Fig_robust.print s.robust;
   figure E.Ablation.name E.Ablation.print s.ablation
@@ -470,6 +476,35 @@ let service_tests =
            ignore (Oracle.Checker.probe_list ck flips)));
   ]
 
+(* The effects runtime: the cost of spawning-and-retiring one fiber on a
+   free-standing runtime, and one full controller -> switch -> ack round
+   trip through the fiber-per-switch channel (the session ping fig-conns
+   multiplies by tens of thousands). *)
+let fiber_tests =
+  let module Fiber = Chronus_fiber.Fiber in
+  let clock = ref 0 in
+  let rt =
+    Fiber.runtime ~now:(fun () -> !clock) ~schedule:(fun _ _ -> ())
+  in
+  let engine = Chronus_sim.Engine.create () in
+  let net = Chronus_sim.Network.create engine in
+  Chronus_sim.Network.add_switch net 0;
+  let ctrl = Chronus_sim.Controller.create net in
+  [
+    Test.make ~name:"fiber/spawn"
+      (Staged.stage (fun () ->
+           ignore (Fiber.spawn_root rt (fun () -> ()) : unit Fiber.t);
+           Fiber.drain rt));
+    Test.make ~name:"fiber/switch-rtt"
+      (Staged.stage (fun () ->
+           Chronus_sim.Controller.send ctrl
+             ~ack:(fun _ -> ())
+             ~switch:0
+             (Chronus_sim.Controller.Remove
+                { dst = 9_999; tag_match = Chronus_sim.Flow_table.Any_tag });
+           Chronus_sim.Engine.run engine));
+  ]
+
 let baseline_tests =
   let inst = instance_of_size 60 in
   [
@@ -491,7 +526,8 @@ let benchmarks () =
     Test.make_grouped ~name:"chronus"
       (greedy_tests @ greedy_exact_tests @ primitive_tests
       @ oracle_incremental_tests @ service_tests @ flow_table_tests
-      @ prefix_table_tests @ event_queue_tests @ baseline_tests)
+      @ prefix_table_tests @ event_queue_tests @ fiber_tests
+      @ baseline_tests)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
@@ -775,6 +811,31 @@ let service_json suite =
              ] ))
        rows)
 
+(* chronus-bench/9: the heavy-traffic figure — peak concurrent fibers
+   and virtual-time switch-RTT percentiles per session count. Every
+   column but wall_s is deterministic. *)
+let conns_json suite =
+  match suite.fig_conns with
+  | None -> Json.Null
+  | Some rows ->
+      Json.Obj
+        (List.map
+           (fun (r : E.Fig_conns.row) ->
+             ( Printf.sprintf "conns-%d" r.E.Fig_conns.conns,
+               Json.Obj
+                 [
+                   ("switches", Json.Int r.E.Fig_conns.switches);
+                   ("peak_fibers", Json.Int r.E.Fig_conns.peak_fibers);
+                   ("pings", Json.Int r.E.Fig_conns.pings);
+                   ("rtt_p50_ms", Json.Float r.E.Fig_conns.rtt_p50_ms);
+                   ("rtt_p99_ms", Json.Float r.E.Fig_conns.rtt_p99_ms);
+                   ("update_clean", Json.Bool r.E.Fig_conns.update_clean);
+                   ("update_span_s", Json.Float r.E.Fig_conns.update_span_s);
+                   ("events", Json.Int r.E.Fig_conns.events);
+                   ("wall_s", Json.Float r.E.Fig_conns.wall_s);
+                 ] ))
+           rows)
+
 let write_json ~path ~scale_name ~jobs ~host_cores ~experiments ~micro =
   let experiments_json =
     match experiments with
@@ -810,7 +871,7 @@ let write_json ~path ~scale_name ~jobs ~host_cores ~experiments ~micro =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "chronus-bench/8");
+        ("schema", Json.String "chronus-bench/9");
         ("scale", Json.String scale_name);
         ("jobs", Json.Int jobs);
         ("host_cores", Json.Int host_cores);
@@ -827,6 +888,10 @@ let write_json ~path ~scale_name ~jobs ~host_cores ~experiments ~micro =
           match experiments with
           | None -> Json.Null
           | Some (seq, _) -> service_json seq );
+        ( "conns",
+          match experiments with
+          | None -> Json.Null
+          | Some (seq, _) -> conns_json seq );
         ("oracle_cache", oracle_cache_json ~micro);
         ("faults", faults_json ());
         ("metrics", metrics_json ());

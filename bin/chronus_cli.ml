@@ -99,7 +99,17 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, scale, service, ablation, all.")
+          ~doc:"One of: table2, fig6, fig7, fig8, fig9, fig10, fig11, robust, scale, service, conns, ablation, all.")
+  in
+  let conns_arg =
+    let doc =
+      "Concurrent-session counts for the $(b,conns) experiment, e.g. \
+       $(b,--conns 2000,10000). Default: the scale's session axis."
+    in
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "conns" ] ~docv:"CONNS" ~doc)
   in
   let rates_arg =
     let doc =
@@ -137,7 +147,7 @@ let experiment_cmd =
         invalid_arg
           (Printf.sprintf "unknown topology %S (expected fatK, b4 or wanN)" s)
   in
-  let run which scale_name jobs metrics rates topos =
+  let run which scale_name jobs metrics rates topos conns =
     let module Obs = Chronus_obs.Obs in
     let scale = E.Scale.parse scale_name in
     let kinds = Option.map (List.map parse_topo) topos in
@@ -158,6 +168,7 @@ let experiment_cmd =
       | "scale" -> E.Fig_scale.print (E.Fig_scale.run ~jobs ~scale ?kinds ())
       | "service" ->
           E.Fig_service.print (E.Fig_service.run ~jobs ~scale ?rates ())
+      | "conns" -> E.Fig_conns.print (E.Fig_conns.run ~jobs ~scale ?conns ())
       | "ablation" -> E.Ablation.print (E.Ablation.run ~jobs ~scale ())
       | other ->
           invalid_arg (Printf.sprintf "unknown experiment %S" other)
@@ -182,7 +193,7 @@ let experiment_cmd =
             print_newline ())
           [
             "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-            "robust"; "scale"; "service"; "ablation";
+            "robust"; "scale"; "service"; "conns"; "ablation";
           ]
     | w -> dispatch w);
     0
@@ -192,7 +203,7 @@ let experiment_cmd =
        ~doc:"Regenerate a table or figure of the paper's evaluation.")
     Term.(
       const run $ which $ scale_arg $ jobs_arg $ metrics_arg $ rates_arg
-      $ topos_arg)
+      $ topos_arg $ conns_arg)
 
 (* chronus demo *)
 let demo_cmd =

@@ -2,6 +2,7 @@ open Chronus_sim
 open Chronus_graph
 open Chronus_flow
 open Chronus_baselines
+module Fiber = Chronus_fiber.Fiber
 module Obs = Chronus_obs.Obs
 
 let c_phases = Obs.Counter.v "exec.transition_phases"
@@ -33,17 +34,28 @@ let run ?config ?seed ?faults ?budget inst =
     let u = List.find (fun u -> u.Instance.switch = v) updates in
     Exec_env.modify_of_update inst u
   in
-  let rec do_round = function
-    | [] -> finished := Some (Engine.now engine)
-    | round :: rest ->
-        Obs.Counter.incr c_phases;
-        List.iter
-          (fun v -> Exec_env.dispatch env ~switch:v (mod_for v))
-          round;
-        Controller.barrier_all env.Exec_env.controller ~switches:round
-          (fun at -> Engine.at engine at (fun () -> do_round rest))
-  in
-  Engine.at engine t0 (fun () -> do_round rounds);
+  (* One fiber drives the whole round sequence: dispatch a round, wait
+     out its barrier, let the instant's remaining events settle, go
+     again. *)
+  ignore
+    (Fiber.spawn_root (Engine.fiber_runtime engine) (fun () ->
+         Fiber.sleep_until t0;
+         let rec do_round = function
+           | [] -> finished := Some (Fiber.now ())
+           | round :: rest ->
+               Obs.Counter.incr c_phases;
+               List.iter
+                 (fun v -> Exec_env.dispatch env ~switch:v (mod_for v))
+                 round;
+               let at =
+                 Controller.barrier_all_wait env.Exec_env.controller
+                   ~switches:round
+               in
+               Fiber.sleep_until at;
+               do_round rest
+         in
+         do_round rounds)
+      : unit Fiber.t);
   let horizon =
     t0 + (List.length rounds + 2) * Sim_time.sec 1 + Sim_time.sec 5
   in

@@ -1,6 +1,7 @@
 open Chronus_sim
 open Chronus_flow
 open Chronus_core
+module Fiber = Chronus_fiber.Fiber
 module Obs = Chronus_obs.Obs
 
 let s_run = Obs.Span.v "exec.timed.run"
@@ -42,12 +43,19 @@ type t = {
    starts stamping. *)
 let fallback_tag = 9
 
-let run ?config ?seed ?mode ?faults ?(retry = default_retry) inst =
-  Obs.Span.with_h s_run @@ fun () ->
-  let { Fallback.schedule; clean } = Fallback.schedule ?mode inst in
-  let env = Exec_env.build ?config ?seed ?faults ~tag_initial:None inst in
+type progress = {
+  mutable finished : Sim_time.t option;
+  mutable pending : int;
+  mutable retries : int;
+  mutable fallen_back : bool;
+  deadline : Sim_time.t;
+}
+
+let launch ?(retry = default_retry) env schedule =
+  let inst = env.Exec_env.inst in
   let engine = Network.engine env.Exec_env.net in
   let cfg = env.Exec_env.config in
+  let rt = Engine.fiber_runtime engine in
   let t0 = Exec_env.update_start env in
   let dispatch_at = max 0 (t0 - Sim_time.msec 500) in
   let timed =
@@ -58,22 +66,25 @@ let run ?config ?seed ?mode ?faults ?(retry = default_retry) inst =
           (Schedule.find u.Instance.switch schedule))
       (Instance.updates inst)
   in
-  let finished = ref None in
   let acked : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let pending = ref (List.length timed) in
-  let retries = ref 0 in
-  let fallen_back = ref false in
-  let deadline =
-    t0
-    + (Schedule.makespan schedule * cfg.Exec_env.delay_unit)
-    + retry.deadline_slack
+  let prog =
+    {
+      finished = None;
+      pending = List.length timed;
+      retries = 0;
+      fallen_back = false;
+      deadline =
+        t0
+        + (Schedule.makespan schedule * cfg.Exec_env.delay_unit)
+        + retry.deadline_slack;
+    }
   in
   (* Emergency path on deadline miss: a two-phase update over the final
      path, version-tagged so half-installed timed state cannot capture
      in-flight traffic. Its own commands go through [dispatch] too, so it
      is best-effort under continuing faults — the monitor keeps score. *)
   let fallback () =
-    fallen_back := true;
+    prog.fallen_back <- true;
     Obs.Counter.incr c_fallbacks;
     let dst = Instance.destination inst and src = Instance.source inst in
     let fin_transit = List.filter (fun v -> v <> dst) inst.Instance.p_fin in
@@ -92,62 +103,102 @@ let run ?config ?seed ?mode ?faults ?(retry = default_retry) inst =
                      { Flow_table.set_tag = None; forward = Flow_table.Out w };
                  }))
       fin_transit;
-    Controller.barrier_all env.Exec_env.controller ~switches:fin_transit
-      (fun at ->
-        Engine.at engine at (fun () ->
-            let new_hop =
-              match Instance.new_next inst src with
-              | Some w -> w
-              | None -> assert false
-            in
-            Exec_env.dispatch env ~switch:src
-              (Controller.Modify
-                 {
-                   dst;
-                   tag_match = Flow_table.Any_tag;
-                   action =
-                     {
-                       Flow_table.set_tag = Some fallback_tag;
-                       forward = Flow_table.Out new_hop;
-                     };
-                 });
-            Controller.barrier env.Exec_env.controller ~switch:src (fun at ->
-                finished := Some at)))
-  in
-  let rec send ~attempt ((u : Instance.update), step) =
-    let exec_at = t0 + (step * cfg.Exec_env.delay_unit) in
-    Exec_env.dispatch env ~execute_at:exec_at
-      ~on_ack:(fun at ->
-        if not (Hashtbl.mem acked u.Instance.switch) then begin
-          Hashtbl.replace acked u.Instance.switch ();
-          decr pending;
-          if !pending = 0 && not !fallen_back then finished := Some at
-        end)
-      ~switch:u.Instance.switch
-      (Exec_env.modify_of_update inst u);
-    let check_at =
-      max (Engine.now engine) exec_at
-      + retry.ack_timeout
-      + (attempt * retry.backoff)
+    let at =
+      Controller.barrier_all_wait env.Exec_env.controller
+        ~switches:fin_transit
     in
-    if check_at < deadline && attempt < retry.max_retries then
-      Engine.at engine check_at (fun () ->
-          if
-            (not (Hashtbl.mem acked u.Instance.switch)) && not !fallen_back
-          then begin
-            incr retries;
-            Obs.Counter.incr c_retries;
-            send ~attempt:(attempt + 1) (u, step)
-          end)
+    Fiber.sleep_until at;
+    let new_hop =
+      match Instance.new_next inst src with
+      | Some w -> w
+      | None -> assert false
+    in
+    Exec_env.dispatch env ~switch:src
+      (Controller.Modify
+         {
+           dst;
+           tag_match = Flow_table.Any_tag;
+           action =
+             {
+               Flow_table.set_tag = Some fallback_tag;
+               forward = Flow_table.Out new_hop;
+             };
+         });
+    let at = Controller.barrier_wait env.Exec_env.controller ~switch:src in
+    prog.finished <- Some at
   in
-  Engine.at engine dispatch_at (fun () ->
-      if timed = [] then finished := Some (Engine.now engine)
-      else List.iter (send ~attempt:0) timed;
-      Engine.at engine deadline (fun () ->
-          if !pending > 0 && not !fallen_back then fallback ()));
-  let horizon = deadline + Sim_time.sec 5 in
+  (* One fiber per timed command: dispatch, await the ack with a
+     timeout, re-send with linear backoff — the straight-line form of
+     the old callback state machine. *)
+  let update_fiber ((u : Instance.update), step) () =
+    let box = Fiber.Mailbox.create rt in
+    let exec_at = t0 + (step * cfg.Exec_env.delay_unit) in
+    let settle at =
+      if not (Hashtbl.mem acked u.Instance.switch) then begin
+        Hashtbl.replace acked u.Instance.switch ();
+        prog.pending <- prog.pending - 1;
+        if prog.pending = 0 && not prog.fallen_back then
+          prog.finished <- Some at
+      end
+    in
+    let rec attempt n =
+      Exec_env.dispatch env ~execute_at:exec_at
+        ~on_ack:(fun at -> Fiber.Mailbox.send box at)
+        ~switch:u.Instance.switch
+        (Exec_env.modify_of_update inst u);
+      let check_at =
+        max (Engine.now engine) exec_at
+        + retry.ack_timeout
+        + (n * retry.backoff)
+      in
+      if check_at < prog.deadline && n < retry.max_retries then
+        match Fiber.Mailbox.recv_until ~deadline:check_at box with
+        | Some at -> settle at
+        | None ->
+            if (not (Hashtbl.mem acked u.Instance.switch)) && not prog.fallen_back
+            then begin
+              prog.retries <- prog.retries + 1;
+              Obs.Counter.incr c_retries;
+              attempt (n + 1)
+            end
+            else
+              (* Out of the retry loop; a late ack still settles the
+                 books, exactly as the armed callback used to. *)
+              settle (Fiber.Mailbox.recv box)
+      else settle (Fiber.Mailbox.recv box)
+    in
+    attempt 0
+  in
+  ignore
+    (Fiber.spawn_root rt (fun () ->
+         Fiber.sleep_until dispatch_at;
+         if timed = [] then prog.finished <- Some (Fiber.now ())
+         else begin
+           (* Children run in spawn order within this instant: every
+              command is dispatched before the watcher posts the
+              deadline. *)
+           List.iter
+             (fun cmd -> ignore (Fiber.spawn (update_fiber cmd) : unit Fiber.t))
+             timed;
+           ignore
+             (Fiber.spawn (fun () ->
+                  Fiber.sleep_until prog.deadline;
+                  if prog.pending > 0 && not prog.fallen_back then fallback ())
+               : unit Fiber.t)
+         end)
+      : unit Fiber.t);
+  prog
+
+let run ?config ?seed ?mode ?faults ?(retry = default_retry) inst =
+  Obs.Span.with_h s_run @@ fun () ->
+  let { Fallback.schedule; clean } = Fallback.schedule ?mode inst in
+  let env = Exec_env.build ?config ?seed ?faults ~tag_initial:None inst in
+  let engine = Network.engine env.Exec_env.net in
+  let cfg = env.Exec_env.config in
+  let prog = launch ~retry env schedule in
+  let horizon = prog.deadline + Sim_time.sec 5 in
   Engine.run ~until:horizon engine;
-  if !finished = None then
+  if prog.finished = None then
     (* A late fallback needs room for its barriers and the tag drain. *)
     Engine.run
       ~until:
@@ -156,14 +207,14 @@ let run ?config ?seed ?mode ?faults ?(retry = default_retry) inst =
         + Sim_time.sec 10)
       engine;
   let update_done =
-    match !finished with Some at -> at | None -> horizon
+    match prog.finished with Some at -> at | None -> horizon
   in
   let result = Exec_env.finish env ~update_done in
   {
     result;
     schedule;
     clean;
-    path = (if !fallen_back then Two_phase_fallback else Timed);
-    retries = !retries;
-    unacked = !pending;
+    path = (if prog.fallen_back then Two_phase_fallback else Timed);
+    retries = prog.retries;
+    unacked = prog.pending;
   }

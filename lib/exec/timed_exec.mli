@@ -50,6 +50,26 @@ type t = {
   unacked : int;  (** switches never acked (0 on the timed path) *)
 }
 
+(** Mutable scoreboard of a launched timed update — read it after (or
+    while) driving the engine. *)
+type progress = {
+  mutable finished : Sim_time.t option;
+      (** completion time: last ack on the timed path, or the final
+          barrier of the fallback *)
+  mutable pending : int;  (** switches not yet acked *)
+  mutable retries : int;
+  mutable fallen_back : bool;
+  deadline : Sim_time.t;
+      (** when the timed plan is abandoned for the fallback *)
+}
+
+val launch : ?retry:retry -> Exec_env.env -> Schedule.t -> progress
+(** Spawn the update's fibers (one per timed command, plus the deadline
+    watcher) on [env]'s engine without driving it: the caller runs the
+    engine, typically alongside other fibers — [Fig_conns] executes a
+    timed update under ten thousand live switch sessions this way.
+    {!run} is [build] + [launch] + [Engine.run] + [finish]. *)
+
 val run :
   ?config:Exec_env.config ->
   ?seed:int ->

@@ -1,5 +1,6 @@
 open Chronus_sim
 open Chronus_flow
+module Fiber = Chronus_fiber.Fiber
 module Obs = Chronus_obs.Obs
 
 let c_phases = Obs.Counter.v "exec.transition_phases"
@@ -33,74 +34,77 @@ let run ?config ?seed ?faults inst =
     List.filter (fun v -> v <> dst) inst.Instance.p_fin
   in
   let rules_installed = ref 0 in
-  Engine.at engine t0 (fun () ->
-      (* Phase one: version-2 rules, traffic still stamped with tag 1. *)
-      List.iter
-        (fun v ->
-          match Instance.new_next inst v with
-          | None -> ()
-          | Some w ->
-              incr rules_installed;
-              Exec_env.dispatch env ~switch:v
-                (Controller.Install
-                   {
-                     priority = 20;
-                     dst;
-                     tag_match = Flow_table.Tag new_tag;
-                     action =
-                       { Flow_table.set_tag = None; forward = Flow_table.Out w };
-                   }))
-        fin_transit;
-      Controller.barrier_all controller ~switches:fin_transit (fun at ->
-          phase1_done := at;
-          Obs.Counter.incr c_phases;
-          Obs.Point.emit p_phase
-            [ ("phase", Obs.Point.Int 1); ("at_us", Obs.Point.Int at) ];
-          Engine.at engine at (fun () ->
-              (* Phase two: flip the ingress stamp; every packet from now
-                 on carries tag 2 and follows the new rules. *)
-              let new_hop =
-                match Instance.new_next inst src with
-                | Some w -> w
-                | None -> assert false
-              in
-              Exec_env.dispatch env ~switch:src
-                (Controller.Modify
-                   {
-                     dst;
-                     tag_match = Flow_table.Any_tag;
-                     action =
-                       {
-                         Flow_table.set_tag = Some new_tag;
-                         forward = Flow_table.Out new_hop;
-                       };
-                   });
-              Controller.barrier controller ~switch:src (fun at ->
-                  phase2_done := at;
-                  Obs.Counter.incr c_phases;
-                  Obs.Point.emit p_phase
-                    [ ("phase", Obs.Point.Int 2); ("at_us", Obs.Point.Int at) ];
-                  (* Old-tag packets drain within the old path's total
-                     propagation time; then garbage-collect tag-1 rules. *)
-                  let drain_time =
-                    Instance.init_delay inst * cfg.Exec_env.delay_unit
-                    + Sim_time.msec 200
-                  in
-                  Engine.at engine (at + drain_time) (fun () ->
-                      let old_transit =
-                        List.filter
-                          (fun v -> v <> dst && v <> src)
-                          inst.Instance.p_init
-                      in
-                      List.iter
-                        (fun v ->
-                          Exec_env.dispatch env ~switch:v
-                            (Controller.Remove
-                               { dst; tag_match = Flow_table.Tag old_tag }))
-                        old_transit;
-                      Controller.barrier_all controller ~switches:old_transit
-                        (fun at -> finished := Some at))))))
-  ;
+  (* The whole two-phase protocol is one straight-line fiber. *)
+  ignore
+    (Fiber.spawn_root (Engine.fiber_runtime engine) (fun () ->
+         Fiber.sleep_until t0;
+         (* Phase one: version-2 rules, traffic still stamped with tag 1. *)
+         List.iter
+           (fun v ->
+             match Instance.new_next inst v with
+             | None -> ()
+             | Some w ->
+                 incr rules_installed;
+                 Exec_env.dispatch env ~switch:v
+                   (Controller.Install
+                      {
+                        priority = 20;
+                        dst;
+                        tag_match = Flow_table.Tag new_tag;
+                        action =
+                          {
+                            Flow_table.set_tag = None;
+                            forward = Flow_table.Out w;
+                          };
+                      }))
+           fin_transit;
+         let at = Controller.barrier_all_wait controller ~switches:fin_transit in
+         phase1_done := at;
+         Obs.Counter.incr c_phases;
+         Obs.Point.emit p_phase
+           [ ("phase", Obs.Point.Int 1); ("at_us", Obs.Point.Int at) ];
+         Fiber.sleep_until at;
+         (* Phase two: flip the ingress stamp; every packet from now on
+            carries tag 2 and follows the new rules. *)
+         let new_hop =
+           match Instance.new_next inst src with
+           | Some w -> w
+           | None -> assert false
+         in
+         Exec_env.dispatch env ~switch:src
+           (Controller.Modify
+              {
+                dst;
+                tag_match = Flow_table.Any_tag;
+                action =
+                  {
+                    Flow_table.set_tag = Some new_tag;
+                    forward = Flow_table.Out new_hop;
+                  };
+              });
+         let at = Controller.barrier_wait controller ~switch:src in
+         phase2_done := at;
+         Obs.Counter.incr c_phases;
+         Obs.Point.emit p_phase
+           [ ("phase", Obs.Point.Int 2); ("at_us", Obs.Point.Int at) ];
+         (* Old-tag packets drain within the old path's total propagation
+            time; then garbage-collect tag-1 rules. *)
+         let drain_time =
+           (Instance.init_delay inst * cfg.Exec_env.delay_unit)
+           + Sim_time.msec 200
+         in
+         Fiber.sleep_until (at + drain_time);
+         let old_transit =
+           List.filter (fun v -> v <> dst && v <> src) inst.Instance.p_init
+         in
+         List.iter
+           (fun v ->
+             Exec_env.dispatch env ~switch:v
+               (Controller.Remove { dst; tag_match = Flow_table.Tag old_tag }))
+           old_transit;
+         let at = Controller.barrier_all_wait controller ~switches:old_transit in
+         finished := Some at)
+      : unit Fiber.t);
   let horizon =
     t0
     + (Instance.init_delay inst * cfg.Exec_env.delay_unit)

@@ -2,6 +2,8 @@ open Chronus_graph
 open Chronus_flow
 module Pool = Chronus_parallel.Pool
 module Obs = Chronus_obs.Obs
+module Fiber = Chronus_fiber.Fiber
+module Engine = Chronus_sim.Engine
 
 (* Observability (see OBSERVABILITY.md): the service counters narrate the
    request lifecycle — submitted at the door, admitted/serialized/denied
@@ -421,6 +423,108 @@ let process ?jobs t =
   drain (List.sort (fun a b -> Int.compare a.r_rid b.r_rid) t.queue);
   t.queue <- [];
   List.sort (fun a b -> Int.compare a.rid b.rid) !outcomes
+
+(* ------------------------------------------------------------------ *)
+(* The long-running accept loop: submissions arrive on virtual time,
+   fibers carry them, and the verdict comes back on a per-transaction
+   mailbox. The accept fiber lets the current instant's arrivals settle
+   before admitting, so simultaneous submissions form one admission
+   round — which is exactly what makes [run_async] outcome-identical to
+   a [submit]* + [process] sequence for a same-instant burst. *)
+
+type arrival = { at : Chronus_sim.Sim_time.t; a_fid : int; a_target : Path.t }
+
+type async_outcome = {
+  submitted_at : Chronus_sim.Sim_time.t;
+  decided_at : Chronus_sim.Sim_time.t;
+  a_result : (outcome, denial) result;
+      (** [Error] is a door denial (validation, queue limit); everything
+          past the door resolves to a full {!outcome} *)
+}
+
+let run_async ?jobs t arrivals =
+  let engine = Engine.create () in
+  let rt = Engine.fiber_runtime engine in
+  (* Client fibers announce (rid, reply mailbox) here after the door. *)
+  let announce : (int * outcome Fiber.Mailbox.t) Fiber.Mailbox.t =
+    Fiber.Mailbox.create rt
+  in
+  let results = Array.make (List.length arrivals) None in
+  let clients =
+    List.mapi
+      (fun i a ->
+        Fiber.spawn_root rt (fun () ->
+            Fiber.sleep_until a.at;
+            match submit t ~fid:a.a_fid ~target:a.a_target with
+            | Error d ->
+                results.(i) <-
+                  Some
+                    {
+                      submitted_at = a.at;
+                      decided_at = Fiber.now ();
+                      a_result = Error d;
+                    }
+            | Ok rid ->
+                let box = Fiber.Mailbox.create rt in
+                Fiber.Mailbox.send announce (rid, box);
+                let oc = Fiber.Mailbox.recv box in
+                results.(i) <-
+                  Some
+                    {
+                      submitted_at = a.at;
+                      decided_at = Fiber.now ();
+                      a_result = Ok oc;
+                    }))
+      arrivals
+  in
+  let accept =
+    Fiber.spawn_root rt (fun () ->
+        let boxes = Itbl.create 16 in
+        let register (rid, box) = Itbl.replace boxes rid box in
+        let rec serve () =
+          register (Fiber.Mailbox.recv announce);
+          (* Step to the end of the current instant so every
+             same-instant arrival has submitted, then drain them all
+             into this admission round. *)
+          Fiber.sleep_until (Fiber.now ());
+          let rec drain_announcements () =
+            match Fiber.Mailbox.try_recv announce with
+            | Some reg ->
+                register reg;
+                drain_announcements ()
+            | None -> ()
+          in
+          drain_announcements ();
+          let outcomes = process ?jobs t in
+          List.iter
+            (fun oc ->
+              match Itbl.find_opt boxes oc.rid with
+              | Some box ->
+                  Itbl.remove boxes oc.rid;
+                  Fiber.Mailbox.send box oc
+              | None -> ())
+            outcomes;
+          serve ()
+        in
+        serve ())
+  in
+  Engine.run engine;
+  (* All clients are done; the accept loop is parked on its mailbox —
+     structured cancellation retires it. *)
+  Fiber.cancel accept;
+  Fiber.drain rt;
+  List.iteri
+    (fun i c ->
+      match Fiber.poll c with
+      | Some (Ok ()) -> ()
+      | Some (Error e) -> raise e
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Service.run_async: client %d never received a verdict" i))
+    clients;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
 
 let pp_denial ppf = function
   | Unknown_flow fid -> Format.fprintf ppf "unknown flow %d" fid

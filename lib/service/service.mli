@@ -170,6 +170,40 @@ val process : ?jobs:int -> t -> outcome list
     outcome per queued request, sorted by rid. All fields except
     [wall_ns] are independent of [jobs]. *)
 
+(** {1 The long-running accept loop}
+
+    {!run_async} is the service as a daemon: submissions arrive over
+    virtual time on client fibers, the accept fiber admits and solves
+    them while later submissions are still arriving, and each
+    transaction's verdict comes back on its own mailbox. Admission,
+    batching, conflict resolution and commit order are {!process}'s —
+    the accept loop reuses it verbatim — so a burst of same-instant
+    submissions yields outcomes bit-identical (minus [wall_ns]) to the
+    synchronous [submit]* + [process] sequence, at any job count. *)
+
+type arrival = { at : Chronus_sim.Sim_time.t; a_fid : int; a_target : Path.t }
+(** One client submission: at virtual time [at], ask to move flow
+    [a_fid] onto [a_target]. *)
+
+type async_outcome = {
+  submitted_at : Chronus_sim.Sim_time.t;  (** the arrival's [at] *)
+  decided_at : Chronus_sim.Sim_time.t;
+      (** virtual time the verdict landed on the client's mailbox *)
+  a_result : (outcome, denial) result;
+      (** [Error] is a door denial (validation, queue limit); everything
+          past the door resolves to a full {!outcome} *)
+}
+
+val run_async : ?jobs:int -> t -> arrival list -> async_outcome list
+(** Run the accept loop over the arrival stream on a private
+    deterministic engine: one fiber per arrival sleeps until its [at],
+    submits, announces its request id, and awaits the verdict; the
+    accept fiber gathers every same-instant announcement into one
+    admission round, drains it through {!process} [?jobs], and routes
+    each outcome to its transaction's mailbox. Returns one
+    {!async_outcome} per arrival, in arrival-list order, once every
+    client has its verdict. *)
+
 val pp_denial : Format.formatter -> denial -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

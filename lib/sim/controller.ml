@@ -1,3 +1,5 @@
+module Fiber = Chronus_fiber.Fiber
+
 type flow_mod =
   | Install of {
       priority : int;
@@ -19,12 +21,28 @@ type flow_mod =
       action : Flow_table.action;
     }
 
+type handling = Deliver | Lose | Reject | Crash of (unit -> unit)
+
+(* What the control channel delivers into a switch's inbox: the command
+   itself plus what the fault layer decided about it and when the switch
+   (its clock error already folded in) applies it. *)
+type message = {
+  m_mod : flow_mod;
+  m_handling : handling;
+  m_ack : (Sim_time.t -> unit) option;
+  m_applied_at : Sim_time.t;
+}
+
 type t = {
   net : Network.t;
+  rt : Fiber.runtime;
   latency : switch:int -> Sim_time.t;
   (* Completion time of every command still outstanding, per switch; a
      barrier must wait for the ones issued before it. *)
   outstanding : (int, Sim_time.t list) Hashtbl.t;
+  (* One fiber per switch, spawned on first contact, looping on its
+     inbox. *)
+  inboxes : (int, message Fiber.Mailbox.t) Hashtbl.t;
   mutable sent : int;
   mutable peak_rules : int;
 }
@@ -32,8 +50,10 @@ type t = {
 let create ?(latency = fun ~switch:_ -> Sim_time.msec 1) net =
   {
     net;
+    rt = Engine.fiber_runtime (Network.engine net);
     latency;
     outstanding = Hashtbl.create 16;
+    inboxes = Hashtbl.create 16;
     sent = 0;
     peak_rules = Network.total_rules net;
   }
@@ -63,7 +83,33 @@ let record_outstanding t switch time =
   let current = List.filter (fun at -> at > now) current in
   Hashtbl.replace t.outstanding switch (time :: current)
 
-type handling = Deliver | Lose | Reject | Crash of (unit -> unit)
+(* The switch: one fiber looping on its inbox. Each message is already
+   stamped with its application time — the channel delivers it exactly
+   then, so the fiber applies it at the virtual instant it wakes. *)
+let rec serve t ~switch inbox : unit =
+  let m = Fiber.Mailbox.recv inbox in
+  (match m.m_handling with
+  | Deliver -> apply t ~switch m.m_mod
+  | Reject -> ()
+  | Crash restore -> restore ()
+  | Lose -> ());
+  (match (m.m_handling, m.m_ack) with
+  | Deliver, Some f ->
+      (* The ack rides the reverse control-channel leg. *)
+      let reply = m.m_applied_at + t.latency ~switch in
+      Engine.at (Network.engine t.net) reply (fun () -> f reply)
+  | _ -> ());
+  serve t ~switch inbox
+
+let inbox_for t switch =
+  match Hashtbl.find_opt t.inboxes switch with
+  | Some box -> box
+  | None ->
+      let box = Fiber.Mailbox.create t.rt in
+      Hashtbl.replace t.inboxes switch box;
+      ignore
+        (Fiber.spawn_root t.rt (fun () -> serve t ~switch box) : unit Fiber.t);
+      box
 
 let send t ?execute_at ?latency ?(process_delay = 0) ?(handling = Deliver)
     ?(counted = true) ?ack ~switch mod_ =
@@ -83,18 +129,10 @@ let send t ?execute_at ?latency ?(process_delay = 0) ?(handling = Deliver)
       in
       let applied_at = applied_at + process_delay in
       record_outstanding t switch applied_at;
+      let inbox = inbox_for t switch in
       Engine.at engine applied_at (fun () ->
-          (match handling with
-          | Deliver -> apply t ~switch mod_
-          | Reject -> ()
-          | Crash restore -> restore ()
-          | Lose -> assert false);
-          match (handling, ack) with
-          | Deliver, Some f ->
-              (* The ack rides the reverse control-channel leg. *)
-              let reply = applied_at + t.latency ~switch in
-              Engine.at engine reply (fun () -> f reply)
-          | _ -> ())
+          Fiber.Mailbox.send inbox
+            { m_mod = mod_; m_handling = handling; m_ack = ack; m_applied_at = applied_at })
 
 let barrier t ~switch callback =
   let engine = Network.engine t.net in
@@ -121,6 +159,16 @@ let barrier_all t ~switches callback =
               decr pending;
               if !pending = 0 then callback !latest))
         switches
+
+let barrier_wait t ~switch =
+  let box = Fiber.Mailbox.create t.rt in
+  barrier t ~switch (fun at -> Fiber.Mailbox.send box at);
+  Fiber.Mailbox.recv box
+
+let barrier_all_wait t ~switches =
+  let box = Fiber.Mailbox.create t.rt in
+  barrier_all t ~switches (fun at -> Fiber.Mailbox.send box at);
+  Fiber.Mailbox.recv box
 
 let commands_sent t = t.sent
 

@@ -83,3 +83,20 @@ val commands_sent : t -> int
 val peak_rules : t -> int
 (** Largest total rule count across all switches observed right after any
     command application — the transition footprint of Fig. 9. *)
+
+(** {1 Fiber-context synchronisation}
+
+    The channel itself runs on [Chronus_fiber]: each switch is a fiber
+    looping on an inbox, [send] is a timed mailbox delivery, and acks
+    are scheduled by the switch fiber. The waiting variants below are
+    the straight-line counterparts of {!barrier}/{!barrier_all} for
+    callers that are themselves fibers. *)
+
+val barrier_wait : t -> switch:int -> Sim_time.t
+(** {!barrier}, suspending the calling fiber until the reply arrives;
+    returns the reply's arrival time. The caller resumes at that
+    virtual instant, exactly where the callback would have run. *)
+
+val barrier_all_wait : t -> switches:int list -> Sim_time.t
+(** {!barrier_all}, suspending the calling fiber; returns the latest
+    reply time. *)

@@ -3,13 +3,17 @@ module Obs = Chronus_obs.Obs
 let c_dispatched = Obs.Counter.v "sim.events_dispatched"
 let s_run = Obs.Span.v "sim.run"
 
+module Fiber = Chronus_fiber.Fiber
+
 type t = {
   queue : Event_queue.t;
   mutable clock : Sim_time.t;
   mutable dispatched : int;
+  mutable fibers : Fiber.runtime option;
 }
 
-let create () = { queue = Event_queue.create (); clock = 0; dispatched = 0 }
+let create () =
+  { queue = Event_queue.create (); clock = 0; dispatched = 0; fibers = None }
 
 let now t = t.clock
 
@@ -17,11 +21,29 @@ let at t time thunk = Event_queue.push t.queue ~time:(max time t.clock) thunk
 
 let after t delay thunk = at t (t.clock + max 0 delay) thunk
 
+let fiber_runtime t =
+  match t.fibers with
+  | Some rt -> rt
+  | None ->
+      let rt =
+        Fiber.runtime
+          ~now:(fun () -> t.clock)
+          ~schedule:(fun time thunk -> at t time thunk)
+      in
+      t.fibers <- Some rt;
+      rt
+
+(* Fibers woken by an event run at the same virtual instant, before the
+   next event — the microtask discipline that keeps the fiber-based
+   control channel digest-identical to the old callback one. *)
+let tick t = match t.fibers with Some rt -> Fiber.drain rt | None -> ()
+
 (* The hot loop is allocation-free per event: [next_time]/[run_next]
    avoid the [Some time] / [Some (time, thunk)] boxes [peek_time]/[pop]
    would build for every dispatch. *)
 let run ?until t =
   Obs.Span.with_h s_run @@ fun () ->
+  tick t;
   let continue = ref true in
   while !continue do
     if Event_queue.is_empty t.queue then begin
@@ -38,9 +60,22 @@ let run ?until t =
           t.clock <- time;
           Obs.Counter.incr c_dispatched;
           t.dispatched <- t.dispatched + 1;
-          ignore (Event_queue.run_next t.queue : bool)
+          ignore (Event_queue.run_next t.queue : bool);
+          tick t
     end
   done
+
+let step t =
+  tick t;
+  if Event_queue.is_empty t.queue then false
+  else begin
+    t.clock <- Event_queue.next_time t.queue;
+    Obs.Counter.incr c_dispatched;
+    t.dispatched <- t.dispatched + 1;
+    ignore (Event_queue.run_next t.queue : bool);
+    tick t;
+    true
+  end
 
 let pending t = Event_queue.size t.queue
 

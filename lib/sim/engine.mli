@@ -28,3 +28,15 @@ val dispatched : t -> int
 (** Events dispatched by this engine since creation. Unlike the global
     [sim.events_dispatched] counter this is per-engine, so experiment
     rows built from it stay deterministic under parallel trials. *)
+
+val step : t -> bool
+(** Dispatch the single next event (draining ready fibers before and
+    after it), or return [false] if nothing is pending. The
+    fine-grained alternative to {!run} for callers that interleave the
+    loop with outside work. *)
+
+val fiber_runtime : t -> Chronus_fiber.Fiber.runtime
+(** The cooperative fiber runtime driven by this engine's clock and
+    queue, created on first use. {!run}/{!step} drain it after every
+    dispatched event, so fibers woken by an event run at the same
+    virtual instant — see [Chronus_fiber.Fiber]. *)

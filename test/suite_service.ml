@@ -667,6 +667,96 @@ let test_golden_replay () =
   Alcotest.(check string) "jobs parity" (dig (replay_run ~jobs:1)) (dig (outcomes, routes))
 
 (* ------------------------------------------------------------------ *)
+(* The accept loop: [run_async] must be outcome-identical to the
+   synchronous [submit]* + [process] sequence — same admission races,
+   batching, serialization and denials — for a same-instant burst, at
+   any job count. Random submission sequences over the shared diamond
+   (conflicting pairs, repeats of the same flow, the occasional unknown
+   fid bounced at the door). *)
+
+let async_submissions seed =
+  let rng = Rng.derive seed [ 77 ] in
+  let n = Rng.in_range rng 1 8 in
+  List.init n (fun _ ->
+      let fid =
+        if Rng.in_range rng 0 9 = 0 then 7 (* unknown: door denial *)
+        else Rng.in_range rng 0 1
+      in
+      let target = if Rng.in_range rng 0 1 = 0 then via1 0 else via2 0 in
+      (fid, target))
+
+let proj_result = function
+  | Error (d : Svc.denial) -> Error (Format.asprintf "%a" Svc.pp_denial d)
+  | Ok o -> Ok (proj_outcome o)
+
+let sync_burst ~jobs subs =
+  let svc = Svc.create (shared_diamond_multi ()) in
+  let door =
+    List.map (fun (fid, target) -> Svc.submit svc ~fid ~target) subs
+  in
+  let outcomes = Svc.process ~jobs svc in
+  ( List.map
+      (function
+        | Error d -> proj_result (Error d)
+        | Ok rid ->
+            proj_result (Ok (List.find (fun o -> o.Svc.rid = rid) outcomes)))
+      door,
+    Svc.routes svc )
+
+let async_burst ~jobs subs =
+  let svc = Svc.create (shared_diamond_multi ()) in
+  let results =
+    Svc.run_async ~jobs svc
+      (List.map
+         (fun (fid, target) -> { Svc.at = 0; a_fid = fid; a_target = target })
+         subs)
+  in
+  ( List.map (fun (r : Svc.async_outcome) -> proj_result r.Svc.a_result) results,
+    Svc.routes svc )
+
+let prop_run_async_matches_process =
+  QCheck.Test.make ~count:30
+    ~name:"run_async verdicts match synchronous process (jobs 1 and 4)"
+    QCheck.(make Gen.(0 -- 10_000))
+    (fun seed ->
+      let subs = async_submissions seed in
+      let reference = dig (sync_burst ~jobs:1 subs) in
+      dig (async_burst ~jobs:1 subs) = reference
+      && dig (async_burst ~jobs:4 subs) = reference)
+
+(* Staggered arrivals: each instant forms its own admission round, so a
+   pair that would collide in one burst sails through two batches with
+   no serialization; verdicts land at the arrival instant. *)
+let test_run_async_staggered () =
+  let svc = Svc.create (shared_diamond_multi ()) in
+  let t1 = Chronus_sim.Sim_time.msec 5 in
+  let results =
+    Svc.run_async ~jobs:1 svc
+      [
+        { Svc.at = 0; a_fid = 0; a_target = via2 0 };
+        { Svc.at = t1; a_fid = 1; a_target = via1 0 };
+      ]
+  in
+  match results with
+  | [ a; b ] ->
+      let outcome (r : Svc.async_outcome) =
+        match r.Svc.a_result with
+        | Ok o -> o
+        | Error d -> Alcotest.failf "denied: %a" Svc.pp_denial d
+      in
+      Alcotest.(check int) "first verdict at its arrival instant" 0 a.Svc.decided_at;
+      Alcotest.(check int) "second verdict at its arrival instant" t1
+        b.Svc.decided_at;
+      Alcotest.(check int) "first round is batch 1" 1 (outcome a).Svc.batch;
+      Alcotest.(check int) "second round is batch 2" 2 (outcome b).Svc.batch;
+      Alcotest.(check (list int)) "no serialization across rounds" []
+        ((outcome b).Svc.serialized_after);
+      Alcotest.(check (list (pair int (list int)))) "both rerouted"
+        [ (0, via2 0); (1, via1 0) ]
+        (Svc.routes svc)
+  | _ -> Alcotest.fail "expected two results"
+
+(* ------------------------------------------------------------------ *)
 (* The service figure: deterministic columns independent of the job
    count, and the books balancing. *)
 
@@ -727,6 +817,9 @@ let suite =
       QCheck_alcotest.to_alcotest ~long:false prop_zero_background_identity;
       Alcotest.test_case "golden multi-flow replay (seed-identical)" `Quick
         test_golden_replay;
+      QCheck_alcotest.to_alcotest ~long:false prop_run_async_matches_process;
+      Alcotest.test_case "run_async staggered arrivals round separately" `Quick
+        test_run_async_staggered;
       Alcotest.test_case "fig-service rows independent of job count" `Slow
         test_fig_service_jobs_parity;
     ] )
